@@ -1,0 +1,67 @@
+"""Figure 10: bulk-loading costs of the TPC-H variants.
+
+Paper reference: SD (wo small tables) is only slightly more expensive than
+classical partitioning; disallowing redundancy roughly doubles SD's cost
+(the biggest table becomes PREF and pays a look-up per tuple); WD is the
+most expensive (redundancy plus look-ups).  Better query performance is
+paid for at load time.
+"""
+
+from conftest import NODES
+
+from repro.bench import bulk_load_variant, format_table, tpch_variants
+from repro.workloads.tpch import SMALL_TABLES
+
+VARIANTS = [
+    "Classical",
+    "SD (wo small tables)",
+    "SD (wo small tables, wo redundancy)",
+    "WD (wo small tables)",
+]
+
+
+def test_fig10_bulk_loading(benchmark, tpch_db, tpch_specs, report):
+    variants = tpch_variants(tpch_db, NODES, tpch_specs, SMALL_TABLES)
+
+    def experiment():
+        return {
+            name: bulk_load_variant(tpch_db, variants[name])
+            for name in VARIANTS
+        }
+
+    stats = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            stats[name].rows_in,
+            stats[name].copies_written,
+            stats[name].index_lookups,
+            round(stats[name].simulated_seconds(), 2),
+        )
+        for name in VARIANTS
+    ]
+    report(
+        "fig10_bulk_loading",
+        format_table(
+            ["Variant", "rows in", "copies written", "index lookups", "sim s"],
+            rows,
+            title="Figure 10: bulk-loading cost per variant",
+        ),
+    )
+    seconds = {name: stats[name].simulated_seconds() for name in VARIANTS}
+    # Classical pays I/O for replication but no look-ups.
+    assert stats["Classical"].index_lookups == 0
+    assert stats["Classical"].copies_written > stats["Classical"].rows_in
+    # Every PREF insert pays a partition-index look-up; in both SD
+    # variants the biggest table (lineitem) is PREF partitioned, so the
+    # bulk of all inserted rows needs a look-up.
+    assert stats["SD (wo small tables)"].index_lookups > 0.5 * stats[
+        "SD (wo small tables)"
+    ].rows_in
+    assert stats["SD (wo small tables, wo redundancy)"].index_lookups > 0
+    # WD pays both redundancy and look-ups: at least as expensive as the
+    # redundancy-free SD variant.
+    assert (
+        seconds["WD (wo small tables)"]
+        >= seconds["SD (wo small tables, wo redundancy)"]
+    )

@@ -1,0 +1,82 @@
+"""Figure 11(b): DL and DR of the TPC-DS partitioning variants.
+
+Paper reference (TPC-DS, 10 partitions):
+
+    All Hashed      DL 0     DR 0          All Replicated  DL 1.0  DR 9.0
+    CP Naive        DL 1.0   DR 4.15       CP Ind. Stars   DL 1.0  DR 1.32
+    SD Naive        DL 0.49  DR 0.23       SD Ind. Stars   DL 0.65 DR 0.38
+    WD              DL 1.0   DR 1.4
+"""
+
+from conftest import NODES
+
+from repro.bench import format_table, measure_variant, tpcds_variants
+from repro.design import SchemaGraph
+from repro.workloads.tpcds import FACT_TABLES, SMALL_TABLES
+
+PAPER = {
+    "All Hashed": (0.0, 0.0),
+    "All Replicated": (1.0, 9.0),
+    "CP Naive": (1.0, 4.15),
+    "CP Ind. Stars": (1.0, 1.32),
+    "SD Naive": (0.49, 0.23),
+    "SD Ind. Stars": (0.65, 0.38),
+    "WD": (1.0, 1.4),
+}
+
+
+def test_fig11b_tpcds_locality_vs_redundancy(
+    benchmark, tpcds_db, tpcds_specs, report
+):
+    def experiment():
+        variants = tpcds_variants(
+            tpcds_db, NODES, tpcds_specs, SMALL_TABLES, FACT_TABLES
+        )
+        graph = SchemaGraph.from_schema(
+            tpcds_db.schema, tpcds_db.table_sizes()
+        )
+        return {
+            name: measure_variant(tpcds_db, variant, graph)
+            for name, variant in variants.items()
+        }
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            round(result.data_locality, 2),
+            round(result.data_redundancy, 2),
+            PAPER[name][0],
+            PAPER[name][1],
+        )
+        for name, result in measured.items()
+    ]
+    report(
+        "fig11b_tpcds",
+        format_table(
+            ["Variant", "DL", "DR", "paper DL", "paper DR"],
+            rows,
+            title=f"Figure 11(b): TPC-DS data-locality vs data-redundancy (n={NODES})",
+        ),
+    )
+    # Shapes from the paper:
+    assert measured["All Replicated"].data_redundancy == NODES - 1
+    assert measured["CP Naive"].data_locality == 1.0
+    # Splitting into stars slashes CP's redundancy.
+    assert (
+        measured["CP Ind. Stars"].data_redundancy
+        < 0.5 * measured["CP Naive"].data_redundancy
+    )
+    # SD trades locality for the lowest redundancy of the real designs.
+    assert measured["SD Naive"].data_redundancy == min(
+        measured[name].data_redundancy
+        for name in ("CP Naive", "CP Ind. Stars", "SD Naive", "SD Ind. Stars", "WD")
+    )
+    assert measured["SD Naive"].data_locality < 1.0
+    # The star variant recovers locality for a little more redundancy.
+    assert (
+        measured["SD Ind. Stars"].data_locality
+        >= measured["SD Naive"].data_locality
+    )
+    # WD reaches (near-)full per-query locality without manual effort.
+    assert measured["WD"].data_locality > 0.9

@@ -1,0 +1,62 @@
+"""Figure 7: total simulated runtime of the TPC-H queries per variant.
+
+Paper reference (SF 10, 10 nodes, queries 13 and 22 excluded): the
+workload-driven design is fastest; both SD variants and WD beat classical
+partitioning on the partsupp-heavy queries, while classical partitioning's
+total is dominated by joins against its large replicated tables.
+"""
+
+from conftest import NODES, TPCH_SF
+
+from repro.bench import (
+    format_table,
+    paper_cost_parameters,
+    run_workload,
+    tpch_variants,
+)
+from repro.workloads.tpch import SMALL_TABLES, runtime_queries
+
+VARIANTS = [
+    "Classical",
+    "SD (wo small tables)",
+    "SD (wo small tables, wo redundancy)",
+    "WD (wo small tables)",
+]
+
+
+def test_fig7_total_runtime(benchmark, tpch_db, tpch_specs, report):
+    cost = paper_cost_parameters(TPCH_SF)
+    queries = runtime_queries()
+    variants = tpch_variants(tpch_db, NODES, tpch_specs, SMALL_TABLES)
+
+    def experiment():
+        return {
+            name: run_workload(tpch_db, variants[name], queries, cost=cost)
+            for name in VARIANTS
+        }
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    totals = {
+        name: sum(run.seconds for run in variant_runs.values())
+        for name, variant_runs in runs.items()
+    }
+    rows = [(name, round(totals[name], 1)) for name in VARIANTS]
+    report(
+        "fig7_total_runtime",
+        format_table(
+            ["Variant", "total simulated seconds"],
+            rows,
+            title=(
+                "Figure 7: total runtime of the TPC-H queries "
+                f"(simulated, extrapolated to SF 10 / {NODES} nodes)"
+            ),
+        ),
+    )
+    # Headline shape: WD wins overall.
+    assert totals["WD (wo small tables)"] == min(totals.values())
+    # Classical loses badly on the partsupp-replica queries (paper: Q2,
+    # Q11, Q16, Q20 are 5-30x slower under CP).
+    for query in ("Q2", "Q11", "Q16", "Q20"):
+        cp = runs["Classical"][query].seconds
+        sd = runs["SD (wo small tables)"][query].seconds
+        assert cp > 2 * sd, (query, cp, sd)

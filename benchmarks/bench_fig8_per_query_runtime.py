@@ -1,0 +1,68 @@
+"""Figure 8: per-query simulated runtime for 20 TPC-H queries x 4 variants.
+
+The per-query patterns the paper highlights:
+
+* remote operations make individual queries much slower (SD-wo-redundancy
+  pays on the part/lineitem joins it cannot co-locate);
+* high redundancy in classical partitioning hurts the queries touching the
+  big replicated tables (Q2, Q11, Q16, Q20);
+* WD is never catastrophic on any query.
+"""
+
+from conftest import NODES, TPCH_SF
+
+from repro.bench import (
+    format_table,
+    paper_cost_parameters,
+    run_workload,
+    tpch_variants,
+)
+from repro.workloads.tpch import SMALL_TABLES, runtime_queries
+
+VARIANTS = [
+    "Classical",
+    "SD (wo small tables)",
+    "SD (wo small tables, wo redundancy)",
+    "WD (wo small tables)",
+]
+
+
+def test_fig8_per_query_runtime(benchmark, tpch_db, tpch_specs, report):
+    cost = paper_cost_parameters(TPCH_SF)
+    queries = runtime_queries()
+    variants = tpch_variants(tpch_db, NODES, tpch_specs, SMALL_TABLES)
+
+    def experiment():
+        return {
+            name: run_workload(tpch_db, variants[name], queries, cost=cost)
+            for name in VARIANTS
+        }
+
+    runs = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = [
+        (query,)
+        + tuple(round(runs[name][query].seconds, 1) for name in VARIANTS)
+        for query in queries
+    ]
+    report(
+        "fig8_per_query_runtime",
+        format_table(
+            ["Query", "Classical", "SD", "SD wo red.", "WD"],
+            rows,
+            title=(
+                "Figure 8: per-query simulated runtime "
+                f"(extrapolated to SF 10 / {NODES} nodes)"
+            ),
+        ),
+    )
+    # Remote-operation penalty: SD-wo-redundancy cannot co-locate the
+    # part-lineitem join, so Q17/Q19 are much slower than under SD.
+    for query in ("Q17", "Q19"):
+        assert (
+            runs["SD (wo small tables, wo redundancy)"][query].seconds
+            > 2 * runs["SD (wo small tables)"][query].seconds
+        )
+    # WD is within a small factor of the best variant on every query.
+    for query in queries:
+        best = min(runs[name][query].seconds for name in VARIANTS)
+        assert runs["WD (wo small tables)"][query].seconds <= 3 * best + 1.0

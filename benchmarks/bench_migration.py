@@ -1,0 +1,51 @@
+"""Extension: migration cost between partitioning designs.
+
+Not a paper figure — a deployment question the library answers: what does
+switching an existing cluster from classical partitioning to the SD/WD
+designs cost, compared to reloading from scratch?
+"""
+
+from conftest import NODES, TPCH_SF
+
+from repro.bench import format_table, tpch_variants
+from repro.partitioning import plan_migration
+from repro.workloads.tpch import SMALL_TABLES
+
+
+def test_migration_costs(benchmark, tpch_db, tpch_specs, report):
+    variants = tpch_variants(tpch_db, NODES, tpch_specs, SMALL_TABLES)
+    cp = variants["Classical"].configs[0]
+    sd = variants["SD (wo small tables)"].configs[0]
+    sd_nored = variants["SD (wo small tables, wo redundancy)"].configs[0]
+
+    def experiment():
+        return {
+            "Classical -> SD": plan_migration(tpch_db, cp, sd),
+            "Classical -> SD wo red.": plan_migration(tpch_db, cp, sd_nored),
+            "SD -> SD wo red.": plan_migration(tpch_db, sd, sd_nored),
+        }
+
+    plans = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    row_scale = 10.0 / TPCH_SF
+    rows = [
+        (
+            name,
+            plan.copies_moved,
+            plan.copies_kept,
+            f"{plan.moved_fraction:.0%}",
+            round(plan.simulated_seconds(row_scale=row_scale), 1),
+        )
+        for name, plan in plans.items()
+    ]
+    report(
+        "migration_costs",
+        format_table(
+            ["Migration", "copies moved", "copies kept", "moved", "sim s"],
+            rows,
+            title="Extension: re-partitioning migration costs (TPC-H)",
+        ),
+    )
+    # Structure: a real fraction of data stays in place (hash placements
+    # overlap), and every plan is cheaper than a 100% reload.
+    for name, plan in plans.items():
+        assert 0.0 < plan.moved_fraction < 1.0, name

@@ -1,0 +1,73 @@
+"""Table 1 + Figure 11(a): DL and DR of the TPC-H partitioning variants.
+
+Paper reference (TPC-H, 10 partitions):
+
+    Classical                 DL 1.0   DR 1.21
+    SD (wo small tables)      DL 1.0   DR 0.5
+    SD (wo small, wo red.)    DL 0.7   DR 0.19
+    WD (wo small tables)      DL 1.0   DR 1.5
+    All Hashed                DL 0     DR 0
+    All Replicated            DL 1.0   DR 9.0
+"""
+
+from conftest import NODES
+
+from repro.bench import format_table, measure_variant, tpch_variants
+from repro.design import SchemaGraph
+from repro.workloads.tpch import SMALL_TABLES
+
+PAPER = {
+    "All Hashed": (0.0, 0.0),
+    "All Replicated": (1.0, 9.0),
+    "Classical": (1.0, 1.21),
+    "SD (wo small tables)": (1.0, 0.5),
+    "SD (wo small tables, wo redundancy)": (0.7, 0.19),
+    "WD (wo small tables)": (1.0, 1.5),
+}
+
+
+def test_table1_locality_vs_redundancy(benchmark, tpch_db, tpch_specs, report):
+    def experiment():
+        variants = tpch_variants(
+            tpch_db, NODES, tpch_specs, SMALL_TABLES, include_baselines=True
+        )
+        graph = SchemaGraph.from_schema(tpch_db.schema, tpch_db.table_sizes())
+        return {
+            name: measure_variant(tpch_db, variant, graph)
+            for name, variant in variants.items()
+        }
+
+    measured = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for name, result in measured.items():
+        paper_dl, paper_dr = PAPER[name]
+        rows.append(
+            (
+                name,
+                round(result.data_locality, 2),
+                round(result.data_redundancy, 2),
+                paper_dl,
+                paper_dr,
+            )
+        )
+    report(
+        "table1_fig11a_tpch",
+        format_table(
+            ["Variant", "DL", "DR", "paper DL", "paper DR"],
+            rows,
+            title="Table 1 / Figure 11(a): TPC-H data-locality vs data-redundancy "
+            f"(n={NODES})",
+        ),
+    )
+    # Shape assertions against the paper.
+    by_name = {name: result for name, result in measured.items()}
+    assert by_name["All Hashed"].data_redundancy == 0.0
+    assert by_name["All Replicated"].data_redundancy == NODES - 1
+    assert by_name["Classical"].data_locality == 1.0
+    assert by_name["SD (wo small tables)"].data_locality == 1.0
+    assert 0.5 <= by_name["SD (wo small tables, wo redundancy)"].data_locality <= 0.9
+    assert (
+        by_name["SD (wo small tables, wo redundancy)"].data_redundancy
+        < by_name["SD (wo small tables)"].data_redundancy
+        < by_name["Classical"].data_redundancy
+    )

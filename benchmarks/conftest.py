@@ -1,0 +1,68 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark reproduces one table or figure of the paper.  Results are
+printed and also written to ``benchmarks/results/<experiment>.txt`` so they
+can be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+
+Scale: the paper ran TPC-H/TPC-DS at SF 10 on ten nodes; benchmarks here
+generate small databases with the same shape and extrapolate simulated
+runtimes through :func:`repro.bench.paper_cost_parameters`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.design import QuerySpec
+from repro.workloads.tpcds import generate_tpcds, tpcds_workload
+from repro.workloads.tpch import ALL_QUERIES, generate_tpch
+
+#: TPC-H scale used by the benchmarks (paper: SF 10).
+TPCH_SF = 0.005
+#: TPC-DS scale (fraction of the paper's SF 10 row counts).
+TPCDS_SF = 0.0005
+#: Cluster size (paper: 10 nodes).
+NODES = 10
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """The TPC-H database all TPC-H experiments run against."""
+    return generate_tpch(scale_factor=TPCH_SF, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tpch_specs(tpch_db):
+    """Workload specs of the 22 TPC-H queries (input of WD)."""
+    return [
+        QuerySpec.from_plan(name, build(), tpch_db.schema)
+        for name, build in ALL_QUERIES.items()
+    ]
+
+
+@pytest.fixture(scope="session")
+def tpcds_db():
+    """The TPC-DS database (skewed, SF 10 shape)."""
+    return generate_tpcds(scale_factor=TPCDS_SF, seed=1)
+
+
+@pytest.fixture(scope="session")
+def tpcds_specs():
+    """The 99 TPC-DS queries as SPJA-block workload specs."""
+    return tpcds_workload()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write an experiment report to stdout and benchmarks/results/."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return write

@@ -1,0 +1,56 @@
+"""Migration study: what switching an existing cluster to PREF costs.
+
+A warehouse already running classical partitioning (co-hashed big tables,
+everything else replicated) evaluates moving to the automated SD design:
+how much data must travel, how much stays in place, and what the new
+design saves per query afterwards.
+
+Run with:  python examples/migration_study.py
+"""
+
+from repro.bench import paper_cost_parameters
+from repro.cluster import SimulatedCluster
+from repro.design import SchemaDrivenDesigner, classical_partitioning
+from repro.partitioning import plan_migration
+from repro.workloads.tpch import ALL_QUERIES, SMALL_TABLES, generate_tpch
+
+SCALE = 0.002
+NODES = 10
+
+database = generate_tpch(scale_factor=SCALE, seed=3)
+print(f"TPC-H at SF {SCALE}: {database.total_rows} rows on {NODES} nodes\n")
+
+cp_config = classical_partitioning(database, NODES)
+sd_config = SchemaDrivenDesigner(database, NODES).design(
+    replicate=SMALL_TABLES
+).config
+
+print("planning the migration Classical -> SD ...")
+plan = plan_migration(database, cp_config, sd_config)
+for migration in sorted(plan.tables.values(), key=lambda m: -m.copies_moved):
+    if migration.copies_after == 0 and migration.copies_before == 0:
+        continue
+    print(
+        f"  {migration.table:10s} {migration.copies_before:>7} -> "
+        f"{migration.copies_after:>7} copies "
+        f"(move {migration.copies_moved}, keep {migration.copies_kept}, "
+        f"drop {migration.copies_dropped})"
+    )
+row_scale = 10.0 / SCALE
+print(
+    f"\ntotal: {plan.copies_moved} copies moved "
+    f"({plan.moved_fraction:.0%} of the target layout), "
+    f"~{plan.simulated_seconds(row_scale=row_scale):.0f}s of bulk transfer "
+    "at deployment scale"
+)
+
+print("\nwhat the migration buys (Q2, Q11, Q16 on both designs):")
+cost = paper_cost_parameters(SCALE)
+for label, config in (("Classical", cp_config), ("SD", sd_config)):
+    cluster = SimulatedCluster.partition(database, config)
+    seconds = {
+        name: cluster.run(ALL_QUERIES[name]()).simulated_seconds(cost)
+        for name in ("Q2", "Q11", "Q16")
+    }
+    rendered = ", ".join(f"{k}={v:.1f}s" for k, v in seconds.items())
+    print(f"  {label:10s} {rendered}")

@@ -1,0 +1,56 @@
+"""Design study on TPC-DS: comparing every variant of paper Figure 11(b).
+
+Generates a skewed 24-table TPC-DS database and compares classical
+partitioning (naive and per-star), the schema-driven and workload-driven
+designs, and the two baselines on data-locality vs data-redundancy.
+
+Run with:  python examples/tpcds_design_study.py
+"""
+
+from repro.bench import format_table, measure_variant, tpcds_variants
+from repro.design import SchemaGraph
+from repro.workloads.tpcds import (
+    FACT_TABLES,
+    SMALL_TABLES,
+    generate_tpcds,
+    tpcds_workload,
+)
+
+SCALE = 0.0005
+NODES = 10
+
+print(f"generating skewed TPC-DS (fraction {SCALE} of the paper's SF 10) ...")
+database = generate_tpcds(scale_factor=SCALE, seed=11)
+print(f"{len(database.table_names)} tables, {database.total_rows} rows")
+
+workload = tpcds_workload()
+print(f"workload: {len(workload)} SPJA blocks from 99 queries\n")
+
+variants = tpcds_variants(database, NODES, workload, SMALL_TABLES, FACT_TABLES)
+graph = SchemaGraph.from_schema(database.schema, database.table_sizes())
+
+rows = []
+for name, variant in variants.items():
+    measured = measure_variant(database, variant, graph)
+    rows.append(
+        (
+            name,
+            len(variant.configs),
+            round(measured.data_locality, 2),
+            round(measured.data_redundancy, 2),
+        )
+    )
+print(
+    format_table(
+        ["Variant", "physical configs", "data-locality", "data-redundancy"],
+        rows,
+        title=f"TPC-DS designs on {NODES} nodes (paper Figure 11b)",
+    )
+)
+
+print(
+    "\nReading the table: classical partitioning buys its locality with"
+    "\nreplication (high DR); the schema-driven design is the leanest but"
+    "\ncuts join edges (lower DL); the workload-driven design recovers"
+    "\nper-query locality by keeping one merged MAST per query group."
+)

@@ -1,0 +1,15 @@
+"""Catalog: column types, table schemas, referential constraints, statistics."""
+
+from repro.catalog.column import Column, DataType
+from repro.catalog.schema import DatabaseSchema, ForeignKey, TableSchema
+from repro.catalog.statistics import FrequencyHistogram, build_histogram
+
+__all__ = [
+    "Column",
+    "DataType",
+    "DatabaseSchema",
+    "ForeignKey",
+    "TableSchema",
+    "FrequencyHistogram",
+    "build_histogram",
+]

@@ -1,0 +1,94 @@
+"""Column and data-type definitions for table schemas.
+
+The type system is deliberately small: the partitioning and design algorithms
+in this library only need to hash, compare and measure values.  Each
+:class:`DataType` carries a nominal byte width used by the network cost model
+(the paper weighs shuffles by the volume of data shipped).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+
+
+class DataType(enum.Enum):
+    """Supported column data types with nominal on-wire byte widths."""
+
+    INTEGER = "integer"
+    BIGINT = "bigint"
+    FLOAT = "float"
+    DECIMAL = "decimal"
+    VARCHAR = "varchar"
+    CHAR = "char"
+    DATE = "date"
+    BOOLEAN = "boolean"
+
+    @property
+    def byte_width(self) -> int:
+        """Nominal width in bytes used by the network cost model."""
+        return _BYTE_WIDTHS[self]
+
+    @property
+    def python_types(self) -> tuple[type, ...]:
+        """Python types accepted for values of this data type."""
+        return _PYTHON_TYPES[self]
+
+
+_BYTE_WIDTHS: dict[DataType, int] = {
+    DataType.INTEGER: 4,
+    DataType.BIGINT: 8,
+    DataType.FLOAT: 8,
+    DataType.DECIMAL: 8,
+    DataType.VARCHAR: 24,
+    DataType.CHAR: 8,
+    DataType.DATE: 4,
+    DataType.BOOLEAN: 1,
+}
+
+_PYTHON_TYPES: dict[DataType, tuple[type, ...]] = {
+    DataType.INTEGER: (int,),
+    DataType.BIGINT: (int,),
+    DataType.FLOAT: (float, int),
+    DataType.DECIMAL: (float, int),
+    DataType.VARCHAR: (str,),
+    DataType.CHAR: (str,),
+    DataType.DATE: (int,),  # days since epoch, keeps comparisons cheap
+    DataType.BOOLEAN: (bool,),
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a table schema.
+
+    Attributes:
+        name: Column name, unique within its table.
+        dtype: The column's :class:`DataType`.
+        nullable: Whether ``None`` is a legal value.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise CatalogError(f"invalid column name: {self.name!r}")
+
+    @property
+    def byte_width(self) -> int:
+        """Nominal byte width of one value of this column."""
+        return self.dtype.byte_width
+
+    def accepts(self, value: object) -> bool:
+        """Return ``True`` if *value* is legal for this column."""
+        if value is None:
+            return self.nullable
+        return isinstance(value, self.dtype.python_types)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        null = " NULL" if self.nullable else ""
+        return f"{self.name} {self.dtype.value.upper()}{null}"

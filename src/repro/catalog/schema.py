@@ -1,0 +1,264 @@
+"""Table and database schema objects, including referential constraints.
+
+Foreign keys are first-class citizens here because the schema-driven design
+algorithm (paper Section 3) derives its schema graph directly from the
+referential constraints of the database schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.catalog.column import Column, DataType
+from repro.errors import CatalogError, DuplicateObjectError, UnknownObjectError
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A referential constraint from one table to another.
+
+    ``source_table.source_columns`` references ``target_table.target_columns``.
+    Multi-column (composite) foreign keys are supported; the column lists are
+    positionally aligned.
+
+    Attributes:
+        name: Constraint name, unique within the database schema.
+        source_table: Referencing table name (holds the foreign key).
+        source_columns: Referencing column names.
+        target_table: Referenced table name.
+        target_columns: Referenced column names (usually the primary key).
+    """
+
+    name: str
+    source_table: str
+    source_columns: tuple[str, ...]
+    target_table: str
+    target_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.source_columns) != len(self.target_columns):
+            raise CatalogError(
+                f"foreign key {self.name!r}: column lists differ in length"
+            )
+        if not self.source_columns:
+            raise CatalogError(f"foreign key {self.name!r}: no columns")
+        if self.source_table == self.target_table:
+            raise CatalogError(
+                f"foreign key {self.name!r}: self-referencing constraints "
+                "are not supported by the design algorithms"
+            )
+
+    def column_pairs(self) -> Iterator[tuple[str, str]]:
+        """Yield aligned (source_column, target_column) pairs."""
+        return zip(self.source_columns, self.target_columns)
+
+
+class TableSchema:
+    """An ordered collection of named, typed columns plus an optional PK."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: Iterable[str] = (),
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise CatalogError(f"invalid table name: {name!r}")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise CatalogError(f"table {name!r} has no columns")
+        self._index: dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._index:
+                raise DuplicateObjectError(
+                    f"table {name!r}: duplicate column {column.name!r}"
+                )
+            self._index[column.name] = position
+        self.primary_key: tuple[str, ...] = tuple(primary_key)
+        for key_column in self.primary_key:
+            if key_column not in self._index:
+                raise UnknownObjectError(
+                    f"table {name!r}: primary key column {key_column!r} "
+                    "is not a column of the table"
+                )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """The column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    @property
+    def row_byte_width(self) -> int:
+        """Nominal byte width of one row (used by the network cost model)."""
+        return sum(column.byte_width for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Return ``True`` if the table has a column called *name*."""
+        return name in self._index
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` called *name*."""
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise UnknownObjectError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def position(self, name: str) -> int:
+        """Return the 0-based position of column *name*."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise UnknownObjectError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def positions(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Return positions for several column names at once."""
+        return tuple(self.position(name) for name in names)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"TableSchema({self.name!r}, {len(self.columns)} columns)"
+
+
+class DatabaseSchema:
+    """A set of table schemas plus the foreign keys linking them."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        self._foreign_keys: dict[str, ForeignKey] = {}
+
+    # -- tables ------------------------------------------------------------
+
+    def add_table(self, table: TableSchema) -> TableSchema:
+        """Register *table*; raises if the name is taken."""
+        if table.name in self._tables:
+            raise DuplicateObjectError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def create_table(
+        self,
+        name: str,
+        columns: Iterable[Column | tuple[str, DataType]],
+        primary_key: Iterable[str] = (),
+    ) -> TableSchema:
+        """Convenience builder accepting ``(name, dtype)`` tuples."""
+        normalised = [
+            column if isinstance(column, Column) else Column(*column)
+            for column in columns
+        ]
+        return self.add_table(TableSchema(name, normalised, primary_key))
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and every foreign key touching it."""
+        if name not in self._tables:
+            raise UnknownObjectError(f"no table {name!r}")
+        del self._tables[name]
+        self._foreign_keys = {
+            fk_name: fk
+            for fk_name, fk in self._foreign_keys.items()
+            if fk.source_table != name and fk.target_table != name
+        }
+
+    def has_table(self, name: str) -> bool:
+        """Return ``True`` if a table called *name* exists."""
+        return name in self._tables
+
+    def table(self, name: str) -> TableSchema:
+        """Return the schema of table *name*."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownObjectError(f"no table {name!r}") from None
+
+    @property
+    def tables(self) -> Mapping[str, TableSchema]:
+        """Read-only view of the table schemas by name."""
+        return dict(self._tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """Names of all tables in creation order."""
+        return tuple(self._tables)
+
+    # -- foreign keys --------------------------------------------------------
+
+    def add_foreign_key(
+        self,
+        name: str,
+        source_table: str,
+        source_columns: Iterable[str],
+        target_table: str,
+        target_columns: Iterable[str],
+    ) -> ForeignKey:
+        """Register a foreign key, validating both endpoints."""
+        if name in self._foreign_keys:
+            raise DuplicateObjectError(f"foreign key {name!r} already exists")
+        fk = ForeignKey(
+            name=name,
+            source_table=source_table,
+            source_columns=tuple(source_columns),
+            target_table=target_table,
+            target_columns=tuple(target_columns),
+        )
+        source = self.table(fk.source_table)
+        target = self.table(fk.target_table)
+        for source_column, target_column in fk.column_pairs():
+            if not source.has_column(source_column):
+                raise UnknownObjectError(
+                    f"foreign key {name!r}: {source_table}.{source_column} "
+                    "does not exist"
+                )
+            if not target.has_column(target_column):
+                raise UnknownObjectError(
+                    f"foreign key {name!r}: {target_table}.{target_column} "
+                    "does not exist"
+                )
+        self._foreign_keys[name] = fk
+        return fk
+
+    @property
+    def foreign_keys(self) -> tuple[ForeignKey, ...]:
+        """All foreign keys in creation order."""
+        return tuple(self._foreign_keys.values())
+
+    def foreign_keys_of(self, table: str) -> tuple[ForeignKey, ...]:
+        """All foreign keys where *table* is source or target."""
+        self.table(table)  # validate existence
+        return tuple(
+            fk
+            for fk in self._foreign_keys.values()
+            if table in (fk.source_table, fk.target_table)
+        )
+
+    def restricted_to(self, tables: Iterable[str]) -> "DatabaseSchema":
+        """Return a copy containing only *tables* and the FKs among them.
+
+        The SD design algorithm uses this to exclude small, fully-replicated
+        tables before building the schema graph (paper Section 3.1).
+        """
+        keep = set(tables)
+        unknown = keep - set(self._tables)
+        if unknown:
+            raise UnknownObjectError(f"unknown tables: {sorted(unknown)}")
+        restricted = DatabaseSchema()
+        for name, table in self._tables.items():
+            if name in keep:
+                restricted.add_table(table)
+        for fk in self._foreign_keys.values():
+            if fk.source_table in keep and fk.target_table in keep:
+                restricted._foreign_keys[fk.name] = fk
+        return restricted
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"DatabaseSchema({len(self._tables)} tables, "
+            f"{len(self._foreign_keys)} foreign keys)"
+        )

@@ -1,0 +1,7 @@
+"""Simulated shared-nothing cluster facades."""
+
+from repro.cluster.cluster import SimulatedCluster
+from repro.cluster.node import NodeReport
+from repro.cluster.workload_cluster import WorkloadCluster
+
+__all__ = ["NodeReport", "SimulatedCluster", "WorkloadCluster"]

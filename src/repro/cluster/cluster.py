@@ -1,0 +1,102 @@
+"""A simulated shared-nothing cluster: the library's main facade.
+
+Wraps a partitioned database with a distributed executor, a SQL front end
+and bulk loading, standing in for the paper's XDB middleware over MySQL
+nodes.  Example::
+
+    cluster = SimulatedCluster.partition(database, config)
+    result = cluster.sql("SELECT COUNT(*) AS n FROM lineitem l")
+    print(result.rows, result.simulated_seconds())
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import NodeReport
+from repro.partitioning.bulk_loader import BulkLoader
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.partitioner import partition_database
+from repro.query.cost import CostParameters
+from repro.query.executor import Executor, QueryResult
+from repro.query.plan import PlanNode
+from repro.sql.planner import sql_to_plan
+from repro.storage.partitioned import PartitionedDatabase
+from repro.storage.table import Database
+
+
+class SimulatedCluster:
+    """A cluster of ``n`` simulated nodes holding one partitioned database."""
+
+    def __init__(
+        self,
+        database: Database,
+        partitioned: PartitionedDatabase,
+        config: PartitioningConfig,
+        cost: CostParameters | None = None,
+        optimizations: bool = True,
+    ) -> None:
+        self.database = database
+        self.partitioned = partitioned
+        self.config = config
+        self.cost = cost or CostParameters()
+        self.executor = Executor(partitioned, optimizations=optimizations)
+        self.loader = BulkLoader(partitioned, config)
+
+    @classmethod
+    def partition(
+        cls,
+        database: Database,
+        config: PartitioningConfig,
+        cost: CostParameters | None = None,
+        optimizations: bool = True,
+    ) -> "SimulatedCluster":
+        """Partition *database* under *config* and wrap it in a cluster."""
+        partitioned = partition_database(database, config)
+        return cls(database, partitioned, config, cost, optimizations)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes (== partitions)."""
+        return self.partitioned.partition_count
+
+    # -- querying ------------------------------------------------------------
+
+    def run(self, plan: PlanNode) -> QueryResult:
+        """Execute a logical plan on the cluster."""
+        return self.executor.execute(plan)
+
+    def sql(self, text: str) -> QueryResult:
+        """Parse, plan, and execute a SQL statement."""
+        return self.run(sql_to_plan(text, self.database.schema))
+
+    def explain(self, plan_or_sql: PlanNode | str) -> str:
+        """The annotated physical plan, as text."""
+        if isinstance(plan_or_sql, str):
+            plan = sql_to_plan(plan_or_sql, self.database.schema)
+        else:
+            plan = plan_or_sql
+        return self.executor.explain(plan)
+
+    def simulated_seconds(self, plan: PlanNode) -> float:
+        """Execute *plan* and return its simulated runtime."""
+        return self.run(plan).simulated_seconds(self.cost)
+
+    # -- storage -----------------------------------------------------------------
+
+    def node_reports(self) -> list[NodeReport]:
+        """Per-node storage snapshots."""
+        reports = []
+        for node_id in range(self.node_count):
+            tables = {}
+            rows = 0
+            size = 0
+            for name, table in self.partitioned.tables.items():
+                partition = table.partitions[node_id]
+                tables[name] = partition.row_count
+                rows += partition.row_count
+                size += partition.row_count * table.schema.row_byte_width
+            reports.append(NodeReport(node_id, rows, size, tables))
+        return reports
+
+    def data_redundancy(self) -> float:
+        """DR of the stored database."""
+        return self.partitioned.data_redundancy()

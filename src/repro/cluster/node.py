@@ -1,0 +1,22 @@
+"""Per-node views of a simulated shared-nothing cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """Storage snapshot of one simulated node.
+
+    Attributes:
+        node_id: Node index (== partition index).
+        rows: Stored row copies on this node.
+        bytes: Nominal stored bytes on this node.
+        tables: Row count per table on this node.
+    """
+
+    node_id: int
+    rows: int
+    bytes: int
+    tables: dict[str, int]

@@ -1,0 +1,66 @@
+"""Automated partitioning design: schema graphs, MAST, SD and WD algorithms."""
+
+from repro.design.baselines import (
+    StarDesign,
+    all_hashed,
+    all_replicated,
+    classical_individual_stars,
+    classical_partitioning,
+    sd_individual_stars,
+    split_into_stars,
+)
+from repro.design.configurator import TreeConfig, find_optimal_config, is_redundancy_free
+from repro.design.estimator import (
+    RedundancyEstimator,
+    expected_copies,
+    expected_copies_closed_form,
+    stirling2,
+)
+from repro.design.graph import GraphEdge, SchemaGraph, data_locality
+from repro.design.locality import (
+    config_data_locality,
+    edge_satisfied,
+    satisfied_edges,
+)
+from repro.design.schema_driven import DesignResult, SchemaDrivenDesigner
+from repro.design.spanning import (
+    enumerate_maximum_spanning_forests,
+    maximum_spanning_forest,
+)
+from repro.design.workload import QuerySpec
+from repro.design.workload_driven import (
+    Fragment,
+    WorkloadDesignResult,
+    WorkloadDrivenDesigner,
+)
+
+__all__ = [
+    "DesignResult",
+    "Fragment",
+    "GraphEdge",
+    "QuerySpec",
+    "RedundancyEstimator",
+    "SchemaDrivenDesigner",
+    "SchemaGraph",
+    "StarDesign",
+    "TreeConfig",
+    "WorkloadDesignResult",
+    "WorkloadDrivenDesigner",
+    "all_hashed",
+    "all_replicated",
+    "classical_individual_stars",
+    "classical_partitioning",
+    "config_data_locality",
+    "data_locality",
+    "edge_satisfied",
+    "enumerate_maximum_spanning_forests",
+    "expected_copies",
+    "expected_copies_closed_form",
+    "find_optimal_config",
+    "is_redundancy_free",
+    "maximum_spanning_forest",
+    "satisfied_edges",
+    "sd_individual_stars",
+    "split_into_stars",
+    "stirling2",
+]

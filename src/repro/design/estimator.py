@@ -1,0 +1,280 @@
+"""Redundancy estimation for PREF-partitioned tables (paper Appendix A).
+
+The expected number of partitions holding a copy of a referencing tuple
+whose join-key value occurs ``f`` times in the referenced table, spread
+uniformly over ``n`` partitions, is
+
+    E[f, n] = sum_{x=1..min(n,f)}  x * C(n, x) * x! * S(f, x) / n^f
+
+with S the Stirling numbers of the second kind.  This is exactly the
+expected number of occupied boxes when throwing f balls into n boxes, so it
+also equals the closed form ``n * (1 - (1 - 1/n)^f)``; we compute small
+values through the Stirling formulation (as the paper describes, with a
+memoised lookup table) and verify the closed form against it in tests,
+switching to the O(1) closed form for large f.
+
+The redundancy factor of a MAST edge (referenced table Ti -> referencing
+table Tj) is ``r(e) = sum_{v in Ve} E[f_v, n] / |Tj|`` over the distinct
+join-key values of the referenced side; the estimated size of a table is
+its base size times the product of the redundancy factors along the path
+from the seed table (redundancy is cumulative).
+
+Histograms may be built from a sample of the data (Figure 13 studies the
+resulting accuracy/runtime trade-off).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from math import comb, factorial
+
+from repro.catalog.statistics import FrequencyHistogram
+from repro.errors import DesignError
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.predicate import JoinPredicate
+from repro.partitioning.scheme import PrefScheme
+from repro.storage.table import Database
+
+#: Above this frequency the exact closed form replaces the Stirling sum.
+STIRLING_CUTOFF = 64
+
+
+@lru_cache(maxsize=200_000)
+def stirling2(f: int, x: int) -> int:
+    """Stirling number of the second kind S(f, x), exact."""
+    if x < 0 or x > f:
+        return 0
+    if x == f:
+        return 1
+    if x == 0:
+        return 0
+    return x * stirling2(f - 1, x) + stirling2(f - 1, x - 1)
+
+
+@lru_cache(maxsize=200_000)
+def expected_copies(f: float, n: int) -> float:
+    """E[f, n]: expected number of partitions receiving >= 1 of f references.
+
+    Uses the paper's Stirling-number formulation for small integer f and
+    the exact occupancy closed form otherwise (sampled histograms scale
+    frequencies back up to non-integer estimates).
+    """
+    if f <= 0:
+        return 1.0  # a partner-less tuple is stored exactly once
+    if n <= 1:
+        return 1.0
+    if f != int(f) or f > STIRLING_CUTOFF:
+        return n * (1.0 - (1.0 - 1.0 / n) ** f)
+    f = int(f)
+    total = 0.0
+    denominator = n**f
+    for x in range(1, min(n, f) + 1):
+        ways = comb(n, x) * factorial(x) * stirling2(f, x)
+        total += x * ways / denominator
+    return total
+
+
+def expected_copies_closed_form(f: int, n: int) -> float:
+    """The occupancy closed form n*(1-(1-1/n)^f) (exactly equals E[f, n])."""
+    if f <= 0 or n <= 1:
+        return 1.0
+    return n * (1.0 - (1.0 - 1.0 / n) ** f)
+
+
+def expected_copies_with_upstream(f: float, upstream: float, n: int) -> float:
+    """Expected copies when each of the f partners is itself duplicated.
+
+    Redundancy is cumulative (paper Appendix A): if the referenced table
+    stores each tuple in ``upstream`` partitions on average, a referencing
+    tuple with f partners covers the union of f random ``upstream``-sized
+    partition sets: ``n * (1 - (1 - upstream/n)^f)``.  For upstream == 1
+    this reduces to the occupancy form of :func:`expected_copies`.
+    """
+    if f <= 0 or n <= 1:
+        return 1.0
+    if upstream <= 1.0:
+        return expected_copies(f, n)
+    coverage = min(upstream, float(n)) / n
+    return n * (1.0 - (1.0 - coverage) ** f)
+
+
+class RedundancyEstimator:
+    """Estimates partitioned sizes for PREF configurations over a database.
+
+    Args:
+        database: The unpartitioned database (histogram source).
+        partition_count: Target number of partitions ``n``.
+        sampling_rate: Fraction of rows histograms are built from.
+        seed: RNG seed for sampling (reproducibility).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        partition_count: int,
+        sampling_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if partition_count < 1:
+            raise DesignError("partition_count must be >= 1")
+        self.database = database
+        self.partition_count = partition_count
+        self.sampling_rate = sampling_rate
+        self.seed = seed
+        self._histograms: dict[tuple[str, tuple[str, ...]], FrequencyHistogram] = {}
+        self._edge_cache: dict[tuple, float] = {}
+
+    # -- histograms -----------------------------------------------------------
+
+    def histogram(self, table: str, columns: tuple[str, ...]) -> FrequencyHistogram:
+        """(Sampled) frequency histogram of *columns* in *table*, cached."""
+        key = (table, columns)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self.database.table(table).histogram(
+                columns, sampling_rate=self.sampling_rate, seed=self.seed
+            )
+            self._histograms[key] = hist
+        return hist
+
+    # -- edge redundancy factors --------------------------------------------------
+
+    def edge_redundancy(
+        self,
+        predicate: JoinPredicate,
+        referencing: str,
+        upstream_factor: float = 1.0,
+    ) -> float:
+        """Redundancy factor r(e) for PREF-partitioning *referencing*.
+
+        The other table of *predicate* is the referenced side.  The factor
+        is the expected stored copies per referencing tuple, in [1, n].
+
+        Redundancy is cumulative: if the referenced table itself stores
+        each tuple in ``upstream_factor`` partitions on average, a
+        referencing tuple with f partners effectively chases
+        ``f * upstream_factor`` copies, so the upstream factor composes
+        *inside* the occupancy expectation rather than multiplying the
+        result (which would overestimate badly for long chains).
+        """
+        referenced = predicate.other_table(referencing)
+        cache_key = (predicate.normalised(), referencing, round(upstream_factor, 6))
+        cached = self._edge_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        referenced_hist = self.histogram(
+            referenced, predicate.columns_of(referenced)
+        )
+        referencing_hist = self.histogram(
+            referencing, predicate.columns_of(referencing)
+        )
+        n = self.partition_count
+        rate = referenced_hist.sampling_rate
+        mean_frequency, scale = self._frequency_calibration(
+            referenced, referenced_hist
+        )
+        expected_total = 0.0
+        referencing_rows = 0
+        for value, count in referencing_hist.items():
+            referencing_rows += count
+            sampled_f = referenced_hist.frequency(value)
+            if sampled_f:
+                f = sampled_f * scale
+            elif rate < 1.0:
+                # The value was not sampled; under referential integrity it
+                # still has partners, at roughly the mean frequency.
+                f = mean_frequency
+            else:
+                f = 0.0  # full scan: truly partner-less
+            expected_total += count * expected_copies_with_upstream(
+                f, upstream_factor, n
+            )
+        if referencing_rows == 0:
+            factor = 1.0
+        else:
+            factor = expected_total / referencing_rows
+        factor = min(max(factor, 1.0), float(n))
+        self._edge_cache[cache_key] = factor
+        return factor
+
+    def _frequency_calibration(
+        self, referenced: str, hist: FrequencyHistogram
+    ) -> tuple[float, float]:
+        """Calibrate sampled frequencies against the true table size.
+
+        With Bernoulli sampling at rate r, a join column with true distinct
+        count D and mean frequency f̄ = R / D (R is the known table size)
+        shows d = D * (1 - (1 - r)^f̄) distinct values in the sample.
+        Solving ``d = (R / f̄) * (1 - (1 - r)^f̄)`` for f̄ recovers the mean
+        frequency without the naive k/r blow-up on near-unique columns.
+        Per-value estimates keep the sampled histogram's shape:
+        ``f̂_v = k_v * f̄ / k̄``.
+
+        Returns ``(f̄, f̄ / k̄)``.
+        """
+        rate = hist.sampling_rate
+        sample_rows = hist.row_count
+        d = hist.distinct_count
+        if rate >= 1.0 or d == 0 or sample_rows == 0:
+            return (sample_rows / d if d else 0.0), 1.0
+        total_rows = self.database.table(referenced).row_count
+        mean_sampled = sample_rows / d
+
+        def seen(fbar: float) -> float:
+            return (total_rows / fbar) * (1.0 - (1.0 - rate) ** fbar)
+
+        low, high = 1e-6, 1e9
+        # seen() is decreasing in f̄; bisect to match the observed d.
+        for _ in range(80):
+            mid = (low + high) / 2
+            if seen(mid) > d:
+                low = mid
+            else:
+                high = mid
+        mean_frequency = max((low + high) / 2, rate * mean_sampled)
+        return mean_frequency, mean_frequency / mean_sampled
+
+    # -- table and database sizes ----------------------------------------------------
+
+    def estimate_table_size(
+        self,
+        table: str,
+        config: PartitioningConfig,
+    ) -> float:
+        """Estimated stored rows of *table* after partitioning under *config*.
+
+        Multiplies the base size by the redundancy factors of every edge on
+        the PREF chain from the seed table (redundancy is cumulative).
+        """
+        base = self.database.table(table).row_count
+        scheme = config.scheme_of(table)
+        if not isinstance(scheme, PrefScheme):
+            if getattr(scheme, "kind", None) is not None and scheme.kind.value == "replicated":
+                return float(base * self.partition_count)
+            return float(base)
+        # Walk the chain from the seed downwards, composing each hop's
+        # upstream duplication into the next occupancy expectation.
+        chain = config.chain_to_seed(table)
+        factor = 1.0
+        for index in range(len(chain) - 1, -1, -1):
+            referenced, predicate = chain[index]
+            referencing = chain[index - 1][0] if index > 0 else table
+            factor = self.edge_redundancy(
+                predicate, referencing=referencing, upstream_factor=factor
+            )
+        return base * factor
+
+    def estimate_database_size(self, config: PartitioningConfig) -> float:
+        """Estimated |DP| (stored rows) for all tables in *config*."""
+        return sum(
+            self.estimate_table_size(table, config) for table in config.tables
+        )
+
+    def estimate_redundancy(self, config: PartitioningConfig) -> float:
+        """Estimated DR = |DP| / |D| - 1 over the configured tables."""
+        base = sum(
+            self.database.table(table).row_count for table in config.tables
+        )
+        if base == 0:
+            return 0.0
+        return self.estimate_database_size(config) / base - 1.0

@@ -1,0 +1,58 @@
+"""Data-locality of a partitioning configuration over a schema graph.
+
+An edge of the schema graph is *satisfied* (its join runs locally) when
+
+* one of its tables is fully replicated, or
+* one table is PREF-partitioned by the other with an equivalent predicate
+  (locality cases 2/3 of Section 2.2), or
+* both tables are hash-partitioned on the edge's join columns with the same
+  partition count (locality case 1).
+"""
+
+from __future__ import annotations
+
+from repro.design.graph import GraphEdge, SchemaGraph, data_locality
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.scheme import HashScheme, PrefScheme, SchemeKind
+
+
+def edge_satisfied(edge: GraphEdge, config: PartitioningConfig) -> bool:
+    """Does *config* make the join over *edge* execute locally?"""
+    table_a, table_b = sorted(edge.tables)
+    if table_a not in config or table_b not in config:
+        return False
+    scheme_a = config.scheme_of(table_a)
+    scheme_b = config.scheme_of(table_b)
+    if (
+        scheme_a.kind is SchemeKind.REPLICATED
+        or scheme_b.kind is SchemeKind.REPLICATED
+    ):
+        return True
+    for scheme, other in ((scheme_a, table_b), (scheme_b, table_a)):
+        if (
+            isinstance(scheme, PrefScheme)
+            and scheme.referenced_table == other
+            and scheme.predicate.equivalent(edge.predicate)
+        ):
+            return True
+    if isinstance(scheme_a, HashScheme) and isinstance(scheme_b, HashScheme):
+        if scheme_a.partition_count != scheme_b.partition_count:
+            return False
+        columns_a = edge.predicate.columns_of(table_a)
+        columns_b = edge.predicate.columns_of(table_b)
+        return scheme_a.columns == columns_a and scheme_b.columns == columns_b
+    return False
+
+
+def satisfied_edges(
+    graph: SchemaGraph, config: PartitioningConfig
+) -> list[GraphEdge]:
+    """All schema-graph edges whose joins are local under *config*."""
+    return [edge for edge in graph.edges if edge_satisfied(edge, config)]
+
+
+def config_data_locality(
+    graph: SchemaGraph, config: PartitioningConfig
+) -> float:
+    """DL of *config* measured over *graph* (paper Section 3.2)."""
+    return data_locality(graph, satisfied_edges(graph, config))

@@ -1,0 +1,109 @@
+"""Workload descriptions for the workload-driven design algorithm.
+
+A :class:`QuerySpec` captures what the WD algorithm needs from a query: the
+set of equi-join predicates of its (SPJA) query graph.  Specs can be
+written by hand or extracted from a logical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.catalog.schema import DatabaseSchema
+from repro.errors import DesignError
+from repro.partitioning.predicate import JoinPredicate
+from repro.query.plan import Join, JoinKind, PlanNode, Scan
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """The join graph of one workload query.
+
+    Attributes:
+        name: Query identifier (e.g. ``"Q3"``).
+        predicates: Equi-join predicates between base tables.
+        tables: All base tables the query touches (superset of the tables
+            in the predicates; single-table queries have no predicates).
+    """
+
+    name: str
+    predicates: tuple[JoinPredicate, ...]
+    tables: frozenset[str]
+
+    @classmethod
+    def make(
+        cls,
+        name: str,
+        predicates: Iterable[JoinPredicate],
+        extra_tables: Iterable[str] = (),
+    ) -> "QuerySpec":
+        """Build a spec from predicates (tables are inferred)."""
+        predicates = tuple(predicates)
+        tables: set[str] = set(extra_tables)
+        for predicate in predicates:
+            tables |= predicate.tables
+        return cls(name, predicates, frozenset(tables))
+
+    @classmethod
+    def from_plan(
+        cls, name: str, plan: PlanNode, schema: DatabaseSchema
+    ) -> "QuerySpec":
+        """Extract the query graph from a logical plan.
+
+        Only equi-join predicates between base-table columns become edges
+        (non-equi predicates would cause full redundancy if used for
+        co-partitioning, so the paper drops them from the schema graph).
+        """
+        aliases: dict[str, str] = {}
+        for node in plan.walk():
+            if isinstance(node, Scan):
+                aliases[node.name] = node.table
+        predicates: list[JoinPredicate] = []
+        for node in plan.walk():
+            if not isinstance(node, Join) or not node.on:
+                continue
+            if node.kind is JoinKind.CROSS:
+                continue
+            pairs: dict[frozenset[str], list[tuple[str, str, str, str]]] = {}
+            for left_ref, right_ref in node.on:
+                left = _resolve(left_ref, aliases, schema)
+                right = _resolve(right_ref, aliases, schema)
+                if left is None or right is None:
+                    continue
+                (lt, lc), (rt, rc) = left, right
+                if lt == rt:
+                    continue
+                pairs.setdefault(frozenset((lt, rt)), []).append((lt, lc, rt, rc))
+            for conjuncts in pairs.values():
+                lt = conjuncts[0][0]
+                left_cols = tuple(c[1] if c[0] == lt else c[3] for c in conjuncts)
+                right_table = conjuncts[0][2] if conjuncts[0][0] == lt else conjuncts[0][0]
+                right_cols = tuple(
+                    c[3] if c[0] == lt else c[1] for c in conjuncts
+                )
+                predicates.append(
+                    JoinPredicate(lt, left_cols, right_table, right_cols)
+                )
+        tables = frozenset(aliases.values())
+        return cls(name, tuple(predicates), tables)
+
+
+def _resolve(
+    ref: str, aliases: dict[str, str], schema: DatabaseSchema
+) -> tuple[str, str] | None:
+    """Map a (possibly qualified) column ref to (base table, column)."""
+    if "." in ref:
+        qualifier, column = ref.split(".", 1)
+        table = aliases.get(qualifier)
+        if table is None:
+            return None
+        return (table, column)
+    candidates = [
+        table
+        for table in set(aliases.values())
+        if schema.has_table(table) and schema.table(table).has_column(ref)
+    ]
+    if len(candidates) == 1:
+        return (candidates[0], ref)
+    return None

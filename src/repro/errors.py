@@ -1,0 +1,73 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses are grouped by the
+subsystem that raises them (catalog, storage, partitioning, query, SQL,
+design) to make targeted handling possible without string matching.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CatalogError(ReproError):
+    """A schema, column, or constraint definition is invalid or unknown."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object (table, column, constraint) with this name already exists."""
+
+
+class UnknownObjectError(CatalogError):
+    """A referenced object (table, column, constraint) does not exist."""
+
+
+class StorageError(ReproError):
+    """A table or partition store was used inconsistently."""
+
+
+class RowShapeError(StorageError):
+    """A row does not match the arity or types of its table schema."""
+
+
+class PartitioningError(ReproError):
+    """A partitioning scheme or configuration is invalid or inapplicable."""
+
+
+class InvalidConfigurationError(PartitioningError):
+    """A partitioning configuration is structurally invalid.
+
+    Raised for cyclic PREF chains, PREF references to unpartitioned or
+    unknown tables, or mismatched partition counts.
+    """
+
+
+class BulkLoadError(PartitioningError):
+    """A bulk-load batch could not be applied to a partitioned table."""
+
+
+class QueryError(ReproError):
+    """A logical plan is malformed or cannot be executed."""
+
+
+class PlanningError(QueryError):
+    """A plan references unknown tables/columns or has inconsistent shape."""
+
+
+class ExecutionError(QueryError):
+    """A runtime failure while executing a (distributed) plan."""
+
+
+class SqlError(ReproError):
+    """The SQL front end rejected a statement."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenised or parsed."""
+
+
+class DesignError(ReproError):
+    """An automated partitioning-design algorithm received invalid input."""

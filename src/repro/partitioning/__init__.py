@@ -1,0 +1,51 @@
+"""Partitioning: schemes (incl. PREF), configurations, partitioner, loader."""
+
+from repro.partitioning.bulk_loader import BulkLoader, BulkLoadStats
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.invariants import InvariantViolation, check_pref_invariants
+from repro.partitioning.migration import MigrationPlan, TableMigration, plan_migration
+from repro.partitioning.metrics import (
+    data_redundancy,
+    data_redundancy_against,
+    partition_balance,
+    per_table_redundancy,
+    storage_per_node,
+)
+from repro.partitioning.partitioner import partition_database
+from repro.partitioning.predicate import JoinPredicate
+from repro.partitioning.scheme import (
+    HashScheme,
+    PartitioningScheme,
+    PrefScheme,
+    RangeScheme,
+    ReplicatedScheme,
+    RoundRobinScheme,
+    SchemeKind,
+    stable_hash,
+)
+
+__all__ = [
+    "BulkLoader",
+    "BulkLoadStats",
+    "HashScheme",
+    "InvariantViolation",
+    "JoinPredicate",
+    "MigrationPlan",
+    "PartitioningConfig",
+    "PartitioningScheme",
+    "PrefScheme",
+    "RangeScheme",
+    "ReplicatedScheme",
+    "RoundRobinScheme",
+    "SchemeKind",
+    "TableMigration",
+    "check_pref_invariants",
+    "data_redundancy",
+    "data_redundancy_against",
+    "partition_balance",
+    "partition_database",
+    "plan_migration",
+    "per_table_redundancy",
+    "stable_hash",
+    "storage_per_node",
+]

@@ -1,0 +1,421 @@
+"""Bulk loading of partitioned tables (paper Section 2.3).
+
+New tuples for a PREF-partitioned table are routed with a *partition index*
+on the referenced attribute of the referenced table, avoiding a join: one
+hash look-up per inserted tuple yields the exact set of target partitions.
+
+Beyond the paper's description (which assumes referenced tables are loaded
+first) the loader also maintains PREF locality when new tuples arrive in a
+*referenced* table: existing referencing tuples that match a newly placed
+key are copied into the new partitions, so the co-location guarantee of
+Definition 1 keeps holding across incremental loads.
+
+Updates and deletes are applied to every partition holding a copy; updates
+may not modify columns used in any partitioning predicate (the paper's
+restriction at the end of Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.errors import BulkLoadError
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.scheme import (
+    HashScheme,
+    PrefScheme,
+    RangeScheme,
+    ReplicatedScheme,
+    RoundRobinScheme,
+)
+from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
+
+Row = tuple
+
+
+@dataclass
+class BulkLoadStats:
+    """Cost accounting for a bulk-load run (drives Figure 10).
+
+    Attributes:
+        rows_in: Base tuples submitted.
+        copies_written: Physical row copies written (>= rows_in for PREF
+            and replicated tables).
+        bytes_written: Nominal bytes written across all partitions.
+        index_lookups: Partition-index probes performed.
+        propagated_copies: Copies of *existing* referencing tuples written
+            to maintain PREF locality after referenced-side inserts.
+    """
+
+    rows_in: int = 0
+    copies_written: int = 0
+    bytes_written: int = 0
+    index_lookups: int = 0
+    propagated_copies: int = 0
+
+    def merge(self, other: "BulkLoadStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.rows_in += other.rows_in
+        self.copies_written += other.copies_written
+        self.bytes_written += other.bytes_written
+        self.index_lookups += other.index_lookups
+        self.propagated_copies += other.propagated_copies
+
+    def simulated_seconds(
+        self,
+        write_bandwidth_bytes: float = 40e6,
+        lookup_seconds: float = 2e-7,
+    ) -> float:
+        """Simulated wall-clock for the load under a simple cost model.
+
+        Writes are bandwidth-bound (redundancy costs I/O); every PREF insert
+        additionally pays one index look-up (the paper's trade-off between
+        CP-style redundancy and PREF-style look-ups).
+        """
+        return (
+            self.bytes_written / write_bandwidth_bytes
+            + self.index_lookups * lookup_seconds
+        )
+
+
+class BulkLoader:
+    """Routes incremental batches into a :class:`PartitionedDatabase`."""
+
+    def __init__(
+        self,
+        partitioned: PartitionedDatabase,
+        config: PartitioningConfig,
+    ) -> None:
+        self.partitioned = partitioned
+        self.config = config
+        self._round_robin: dict[str, int] = {}
+        #: referencing tables by referenced table name (for maintenance).
+        self._referencing: dict[str, list[str]] = {}
+        for table in config.tables:
+            scheme = config.scheme_of(table)
+            if isinstance(scheme, PrefScheme):
+                self._referencing.setdefault(scheme.referenced_table, []).append(
+                    table
+                )
+
+    # -- inserts ------------------------------------------------------------
+
+    def load(
+        self,
+        batches: dict[str, Sequence[Sequence]],
+        maintain_referencing: bool = True,
+    ) -> BulkLoadStats:
+        """Insert one batch per table, in referential load order.
+
+        Args:
+            batches: Mapping from table name to the rows to insert.
+            maintain_referencing: If True (default), keep Definition 1's
+                co-location guarantee by propagating copies of existing
+                referencing tuples when referenced-side inserts create new
+                partner locations.
+
+        Returns:
+            Aggregated :class:`BulkLoadStats` across all batches.
+        """
+        stats = BulkLoadStats()
+        for table in self.config.load_order():
+            rows = batches.get(table)
+            if rows:
+                stats.merge(
+                    self.insert(table, rows, maintain_referencing=maintain_referencing)
+                )
+        return stats
+
+    def insert(
+        self,
+        table: str,
+        rows: Iterable[Sequence],
+        maintain_referencing: bool = True,
+    ) -> BulkLoadStats:
+        """Insert *rows* into *table*, returning load statistics."""
+        target = self.partitioned.table(table)
+        scheme = self.config.scheme_of(table)
+        # Inserts can introduce orphans or duplicate copies, which breaks a
+        # previously verified effective-hash placement of this table and of
+        # every table referencing it (locality propagation adds copies).
+        self._invalidate_effective_hash(table)
+        stats = BulkLoadStats()
+        placements: list[tuple[Row, frozenset[int]]] = []
+        for raw in rows:
+            row = tuple(raw)
+            stats.rows_in += 1
+            placed = self._insert_one(target, scheme, row, stats)
+            placements.append((row, placed))
+        if maintain_referencing and table in self._referencing:
+            self._propagate(table, placements, stats)
+        return stats
+
+    def _insert_one(
+        self,
+        target: PartitionedTable,
+        scheme,
+        row: Row,
+        stats: BulkLoadStats,
+    ) -> frozenset[int]:
+        """Place one row; returns the set of partitions that got a copy."""
+        source_id = target.allocate_source_id()
+        width = target.schema.row_byte_width
+        if isinstance(scheme, (HashScheme, RangeScheme)):
+            key = _key_of(target, scheme.columns, row)
+            partition_id = scheme.partition_of(key)
+            target.partitions[partition_id].append(row, source_id)
+            self._refresh_indexes(target, row, (partition_id,))
+            stats.copies_written += 1
+            stats.bytes_written += width
+            return frozenset((partition_id,))
+        if isinstance(scheme, RoundRobinScheme):
+            cursor = self._round_robin.get(target.name, 0)
+            target.partitions[cursor].append(row, source_id)
+            self._refresh_indexes(target, row, (cursor,))
+            self._round_robin[target.name] = (cursor + 1) % target.partition_count
+            stats.copies_written += 1
+            stats.bytes_written += width
+            return frozenset((cursor,))
+        if isinstance(scheme, ReplicatedScheme):
+            for partition in target.partitions:
+                partition.append(
+                    row, source_id, duplicate=partition.partition_id != 0
+                )
+            self._refresh_indexes(
+                target, row, tuple(range(target.partition_count))
+            )
+            stats.copies_written += target.partition_count
+            stats.bytes_written += width * target.partition_count
+            return frozenset(range(target.partition_count))
+        if isinstance(scheme, PrefScheme):
+            referenced = self.partitioned.table(scheme.referenced_table)
+            index = referenced.partition_index(scheme.referenced_columns)
+            key = _key_of(target, scheme.referencing_columns(target.name), row)
+            stats.index_lookups += 1
+            partitions = index.partitions_of(key)
+            if partitions:
+                placed = tuple(sorted(partitions))
+                for rank, partition_id in enumerate(placed):
+                    target.partitions[partition_id].append(
+                        row, source_id, duplicate=rank > 0, has_partner=True
+                    )
+            else:
+                cursor = self._round_robin.get(target.name, 0)
+                target.partitions[cursor].append(
+                    row, source_id, duplicate=False, has_partner=False
+                )
+                self._round_robin[target.name] = (
+                    cursor + 1
+                ) % target.partition_count
+                placed = (cursor,)
+            self._refresh_indexes(target, row, placed)
+            stats.copies_written += len(placed)
+            stats.bytes_written += width * len(placed)
+            return frozenset(placed)
+        raise BulkLoadError(f"unsupported scheme for bulk load: {scheme!r}")
+
+    def _invalidate_effective_hash(self, table: str) -> None:
+        """Drop verified hash placement of *table* and its referencers."""
+        frontier = [table]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            if self.partitioned.has_table(current):
+                self.partitioned.table(current).effective_hash = None
+            frontier.extend(self._referencing.get(current, ()))
+
+    def _refresh_indexes(
+        self,
+        target: PartitionedTable,
+        row: Row,
+        partition_ids: Sequence[int],
+    ) -> None:
+        """Keep cached partition indexes of *target* consistent."""
+        for columns, index in list(target._indexes.items()):
+            key = _key_of(target, columns, row)
+            for partition_id in partition_ids:
+                index.add(key, partition_id)
+
+    # -- locality maintenance ----------------------------------------------------
+
+    def _propagate(
+        self,
+        referenced_name: str,
+        placements: list[tuple[Row, frozenset[int]]],
+        stats: BulkLoadStats,
+    ) -> None:
+        """Copy existing referencing tuples next to newly inserted partners.
+
+        New copies written here are themselves new partner placements for
+        tables further down the PREF chain, so propagation recurses.
+        """
+        for referencing_name in self._referencing.get(referenced_name, ()):
+            referencing = self.partitioned.table(referencing_name)
+            scheme = self.config.scheme_of(referencing_name)
+            assert isinstance(scheme, PrefScheme)
+            referenced = self.partitioned.table(referenced_name)
+            # Which keys newly appeared in which partitions?
+            new_keys: dict[Hashable, set[int]] = {}
+            for row, placed in placements:
+                key = _key_of(referenced, scheme.referenced_columns, row)
+                new_keys.setdefault(key, set()).update(placed)
+            ref_columns = scheme.referencing_columns(referencing_name)
+            locator = _locate_rows(referencing, ref_columns, set(new_keys))
+            width = referencing.schema.row_byte_width
+            downstream: list[tuple[Row, frozenset[int]]] = []
+            for key, partitions in new_keys.items():
+                for source_id, row, existing in locator.get(key, ()):  # noqa: B020
+                    missing = partitions - existing
+                    added: set[int] = set()
+                    for partition_id in sorted(missing):
+                        referencing.partitions[partition_id].append(
+                            row, source_id, duplicate=True, has_partner=True
+                        )
+                        existing.add(partition_id)
+                        added.add(partition_id)
+                        stats.propagated_copies += 1
+                        stats.copies_written += 1
+                        stats.bytes_written += width
+                        self._refresh_indexes(referencing, row, (partition_id,))
+                    if added:
+                        downstream.append((row, frozenset(added)))
+                    _mark_has_partner(referencing, source_id)
+            if downstream:
+                self._propagate(referencing_name, downstream, stats)
+
+    # -- updates and deletes ------------------------------------------------------
+
+    def delete(self, table: str, where: Callable[[Row], bool]) -> int:
+        """Delete rows matching *where* from every partition of *table*.
+
+        Returns the number of row copies removed.  Cached partition indexes
+        are invalidated (deletion is rare in the paper's warehousing setting).
+        """
+        target = self.partitioned.table(table)
+        removed = 0
+        for partition in target.partitions:
+            keep = [
+                (row, source_id, dup, has)
+                for row, source_id, dup, has in zip(
+                    partition.rows,
+                    partition.source_ids,
+                    partition.dup,
+                    partition.has_partner,
+                )
+                if not where(row)
+            ]
+            removed += partition.row_count - len(keep)
+            _rebuild_partition(partition, keep)
+        target.invalidate_indexes()
+        return removed
+
+    def update(
+        self,
+        table: str,
+        where: Callable[[Row], bool],
+        assign: Callable[[Row], Row],
+    ) -> int:
+        """Update rows matching *where* in every partition of *table*.
+
+        Raises :class:`BulkLoadError` if the update modifies any column used
+        by a partitioning scheme or PREF predicate involving *table* (the
+        paper forbids such updates).  Returns the number of copies updated.
+        """
+        target = self.partitioned.table(table)
+        protected = self._protected_columns(table)
+        positions = target.schema.positions(tuple(protected))
+        updated = 0
+        for partition in target.partitions:
+            for index, row in enumerate(partition.rows):
+                if not where(row):
+                    continue
+                new_row = tuple(assign(row))
+                if len(new_row) != len(row):
+                    raise BulkLoadError("update changed row arity")
+                for position in positions:
+                    if new_row[position] != row[position]:
+                        column = target.schema.columns[position].name
+                        raise BulkLoadError(
+                            f"update modifies partitioning-relevant column "
+                            f"{table}.{column}"
+                        )
+                partition.rows[index] = new_row
+                updated += 1
+        return updated
+
+    def _protected_columns(self, table: str) -> set[str]:
+        """Columns of *table* used by its scheme or any PREF predicate."""
+        protected: set[str] = set()
+        scheme = self.config.scheme_of(table)
+        protected.update(getattr(scheme, "columns", ()))
+        if isinstance(scheme, PrefScheme):
+            protected.update(scheme.referencing_columns(table))
+        for other in self.config.tables:
+            other_scheme = self.config.scheme_of(other)
+            if (
+                isinstance(other_scheme, PrefScheme)
+                and other_scheme.referenced_table == table
+            ):
+                protected.update(other_scheme.referenced_columns)
+        return protected
+
+
+def _key_of(table: PartitionedTable, columns: Sequence[str], row: Row):
+    positions = table.schema.positions(tuple(columns))
+    if len(positions) == 1:
+        return row[positions[0]]
+    return tuple(row[position] for position in positions)
+
+
+def _locate_rows(
+    table: PartitionedTable,
+    columns: Sequence[str],
+    keys: set,
+) -> dict[Hashable, list[tuple[int, Row, set[int]]]]:
+    """Find all base tuples of *table* whose key is in *keys*.
+
+    Returns per key a list of (source_id, row, partitions holding a copy).
+    """
+    positions = table.schema.positions(tuple(columns))
+    if len(positions) == 1:
+        position = positions[0]
+        extract = lambda row: row[position]  # noqa: E731
+    else:
+        extract = lambda row: tuple(row[p] for p in positions)  # noqa: E731
+    by_source: dict[int, tuple[Hashable, Row, set[int]]] = {}
+    for partition in table.partitions:
+        for row, source_id in zip(partition.rows, partition.source_ids):
+            key = extract(row)
+            if key not in keys:
+                continue
+            entry = by_source.get(source_id)
+            if entry is None:
+                by_source[source_id] = (key, row, {partition.partition_id})
+            else:
+                entry[2].add(partition.partition_id)
+    result: dict[Hashable, list[tuple[int, Row, set[int]]]] = {}
+    for source_id, (key, row, partitions) in by_source.items():
+        result.setdefault(key, []).append((source_id, row, partitions))
+    return result
+
+
+def _mark_has_partner(table: PartitionedTable, source_id: int) -> None:
+    """Set the ``hasS`` bit on every copy of *source_id*."""
+    for partition in table.partitions:
+        for index, sid in enumerate(partition.source_ids):
+            if sid == source_id:
+                partition.has_partner[index] = True
+
+
+def _rebuild_partition(partition, entries) -> None:
+    """Replace a partition's contents with the filtered *entries*."""
+    from repro.storage.bitmap import Bitmap
+
+    partition.rows = [row for row, _sid, _dup, _has in entries]
+    partition.source_ids = [sid for _row, sid, _dup, _has in entries]
+    partition.dup = Bitmap(dup for _row, _sid, dup, _has in entries)
+    partition.has_partner = Bitmap(has for _row, _sid, _dup, has in entries)

@@ -1,0 +1,153 @@
+"""Checkable invariants of PREF-partitioned databases (Definition 1).
+
+These checkers are used heavily by the test suite (including the
+property-based tests) to prove that the partitioner and the bulk loader
+maintain the guarantees that query processing relies on:
+
+* **Locality** — for every PREF table R referencing S under predicate p,
+  every partition that holds an s also holds every r with p(r, s).
+* **Coverage** — every base tuple of R is stored in at least one partition.
+* **Canonical copies** — exactly one copy of every base tuple has dup == 0.
+* **Partner bits** — hasS is set on (all copies of) r iff a partner exists
+  anywhere in S.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.scheme import PrefScheme
+from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
+
+
+class InvariantViolation(AssertionError):
+    """A PREF invariant does not hold; the message names the violation."""
+
+
+def check_pref_invariants(
+    partitioned: PartitionedDatabase,
+    config: PartitioningConfig,
+    exact: bool = False,
+) -> None:
+    """Validate Definition 1 over every PREF table of *partitioned*.
+
+    Args:
+        partitioned: The partitioned database to check.
+        config: The configuration it was built from.
+        exact: If True, additionally require that copies of partnered tuples
+            exist *only* in partitions with a partner (true right after
+            partitioning from scratch; incremental loads may leave behind a
+            stale round-robin copy of a formerly partner-less tuple, which is
+            harmless for locality).
+
+    Raises:
+        InvariantViolation: Naming the table and the violated condition.
+    """
+    for table_name in config.tables:
+        scheme = config.scheme_of(table_name)
+        if not isinstance(scheme, PrefScheme):
+            _check_canonical_copies(partitioned.table(table_name))
+            continue
+        referencing = partitioned.table(table_name)
+        referenced = partitioned.table(scheme.referenced_table)
+        _check_canonical_copies(referencing)
+        _check_pref_table(referencing, referenced, scheme, exact=exact)
+
+
+def _check_pref_table(
+    referencing: PartitionedTable,
+    referenced: PartitionedTable,
+    scheme: PrefScheme,
+    exact: bool,
+) -> None:
+    name = referencing.name
+    partner_keys_by_partition = [
+        _key_set(referenced, scheme.referenced_columns, partition_id)
+        for partition_id in range(referenced.partition_count)
+    ]
+    all_partner_keys = set().union(*partner_keys_by_partition) if (
+        partner_keys_by_partition
+    ) else set()
+
+    # Collect, per base tuple of R, its key and the partitions holding copies.
+    extract = _extractor(referencing, scheme.referencing_columns(name))
+    copies: dict[int, set[int]] = {}
+    keys: dict[int, object] = {}
+    has_bits: dict[int, set[bool]] = {}
+    for partition in referencing.partitions:
+        for index, (row, source_id) in enumerate(
+            zip(partition.rows, partition.source_ids)
+        ):
+            copies.setdefault(source_id, set()).add(partition.partition_id)
+            keys[source_id] = extract(row)
+            has_bits.setdefault(source_id, set()).add(
+                partition.has_partner[index]
+            )
+
+    for source_id, key in keys.items():
+        expected = {
+            partition_id
+            for partition_id, partner_keys in enumerate(partner_keys_by_partition)
+            if key in partner_keys
+        }
+        actual = copies[source_id]
+        if expected:
+            missing = expected - actual
+            if missing:
+                raise InvariantViolation(
+                    f"{name}: tuple {source_id} (key {key!r}) missing from "
+                    f"partitions {sorted(missing)} that hold a partner"
+                )
+            if exact and actual != expected:
+                raise InvariantViolation(
+                    f"{name}: tuple {source_id} (key {key!r}) has stray "
+                    f"copies in {sorted(actual - expected)}"
+                )
+        else:
+            if len(actual) != 1:
+                raise InvariantViolation(
+                    f"{name}: partner-less tuple {source_id} stored in "
+                    f"{len(actual)} partitions, expected exactly 1"
+                )
+        expected_partner = key in all_partner_keys
+        observed = has_bits[source_id]
+        if observed != {expected_partner}:
+            raise InvariantViolation(
+                f"{name}: tuple {source_id} hasS bits {observed} inconsistent "
+                f"with partner existence {expected_partner}"
+            )
+
+
+def _check_canonical_copies(table: PartitionedTable) -> None:
+    """Exactly one copy of each base tuple must have dup == 0."""
+    canonical: dict[int, int] = {}
+    for partition in table.partitions:
+        for index, source_id in enumerate(partition.source_ids):
+            canonical.setdefault(source_id, 0)
+            if not partition.dup[index]:
+                canonical[source_id] += 1
+    bad = {sid: count for sid, count in canonical.items() if count != 1}
+    if bad:
+        sample = next(iter(bad.items()))
+        raise InvariantViolation(
+            f"{table.name}: {len(bad)} tuples without exactly one canonical "
+            f"copy (e.g. tuple {sample[0]} has {sample[1]})"
+        )
+
+
+def _key_set(
+    table: PartitionedTable,
+    columns: Sequence[str],
+    partition_id: int,
+) -> set:
+    extract = _extractor(table, columns)
+    return {extract(row) for row in table.partitions[partition_id].rows}
+
+
+def _extractor(table: PartitionedTable, columns: Sequence[str]):
+    positions = table.schema.positions(tuple(columns))
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: row[position]
+    return lambda row: tuple(row[position] for position in positions)

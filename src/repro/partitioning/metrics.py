@@ -1,0 +1,92 @@
+"""Partitioning quality metrics: data redundancy and balance reports.
+
+Data *redundancy* (DR) is paper Section 3.3: ``|DP| / |D| - 1``.  Data
+*locality* (DL) is a property of a schema graph and a co-partitioning edge
+set, so it lives with the design algorithms in
+:mod:`repro.design.schema_graph`; this module covers everything measured on
+materialised partitioned data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
+from repro.storage.table import Database
+
+
+@dataclass(frozen=True)
+class TableRedundancy:
+    """Redundancy breakdown for one partitioned table."""
+
+    table: str
+    base_rows: int
+    stored_rows: int
+
+    @property
+    def redundancy_factor(self) -> float:
+        """Stored rows / base rows (1.0 means no duplicates)."""
+        if self.base_rows == 0:
+            return 1.0
+        return self.stored_rows / self.base_rows
+
+
+def data_redundancy(partitioned: PartitionedDatabase) -> float:
+    """DR = |DP| / |D| - 1, with |D| taken as the canonical row count."""
+    return partitioned.data_redundancy()
+
+
+def data_redundancy_against(
+    partitioned: PartitionedDatabase,
+    database: Database,
+) -> float:
+    """DR measured against the base database's actual row counts.
+
+    Unlike :func:`data_redundancy` this uses |D| from *database*, so tables
+    that were left out of the configuration still count toward |D| exactly
+    as the paper's formula prescribes — but only tables present in both are
+    compared by default use cases; callers pass matching databases.
+    """
+    base_rows = sum(
+        database.table(name).row_count for name in partitioned.table_names
+    )
+    if base_rows == 0:
+        return 0.0
+    return partitioned.total_rows / base_rows - 1.0
+
+
+def per_table_redundancy(
+    partitioned: PartitionedDatabase,
+) -> list[TableRedundancy]:
+    """Redundancy factors per table, sorted by table name."""
+    return [
+        TableRedundancy(
+            table=name,
+            base_rows=table.canonical_row_count,
+            stored_rows=table.total_rows,
+        )
+        for name, table in sorted(partitioned.tables.items())
+    ]
+
+
+def partition_balance(table: PartitionedTable) -> float:
+    """Max-partition rows divided by mean-partition rows (1.0 = perfect).
+
+    A balance close to 1 means parallel scans of this table split evenly
+    across nodes; large values indicate placement skew.
+    """
+    counts = [partition.row_count for partition in table.partitions]
+    mean = sum(counts) / len(counts)
+    if mean == 0:
+        return 1.0
+    return max(counts) / mean
+
+
+def storage_per_node(partitioned: PartitionedDatabase) -> list[int]:
+    """Nominal bytes stored on each node (partition index = node index)."""
+    totals = [0] * partitioned.partition_count
+    for table in partitioned.tables.values():
+        width = table.schema.row_byte_width
+        for partition in table.partitions:
+            totals[partition.partition_id] += partition.row_count * width
+    return totals

@@ -1,0 +1,111 @@
+"""Join predicates used as PREF partitioning predicates.
+
+Paper Section 2.1 restricts partitioning predicates to simple equi-join
+predicates and conjunctions thereof (anything else degenerates to full
+replication of the referencing table).  A :class:`JoinPredicate` therefore
+is a conjunction of column equalities between exactly two tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PartitioningError
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """A conjunctive equi-join predicate between two tables.
+
+    ``left_table.left_columns[i] = right_table.right_columns[i]`` for all i.
+    The predicate is symmetric; :meth:`normalised` provides a canonical
+    orientation so predicates can be compared regardless of which side was
+    written first.
+
+    Attributes:
+        left_table: Name of the first table.
+        left_columns: Columns of the first table, one per conjunct.
+        right_table: Name of the second table.
+        right_columns: Columns of the second table, positionally aligned.
+    """
+
+    left_table: str
+    left_columns: tuple[str, ...]
+    right_table: str
+    right_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.left_columns) != len(self.right_columns):
+            raise PartitioningError(
+                "join predicate column lists differ in length: "
+                f"{self.left_columns} vs {self.right_columns}"
+            )
+        if not self.left_columns:
+            raise PartitioningError("join predicate has no column pairs")
+        if self.left_table == self.right_table:
+            raise PartitioningError(
+                "join predicate must connect two distinct tables"
+            )
+
+    @classmethod
+    def equi(
+        cls,
+        left_table: str,
+        left_column: str,
+        right_table: str,
+        right_column: str,
+    ) -> "JoinPredicate":
+        """Build a single-column equi-join predicate."""
+        return cls(left_table, (left_column,), right_table, (right_column,))
+
+    @property
+    def tables(self) -> frozenset[str]:
+        """The two table names the predicate connects."""
+        return frozenset((self.left_table, self.right_table))
+
+    def columns_of(self, table: str) -> tuple[str, ...]:
+        """The predicate columns on *table*'s side."""
+        if table == self.left_table:
+            return self.left_columns
+        if table == self.right_table:
+            return self.right_columns
+        raise PartitioningError(
+            f"table {table!r} is not part of predicate {self}"
+        )
+
+    def other_table(self, table: str) -> str:
+        """The table on the opposite side of *table*."""
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise PartitioningError(
+            f"table {table!r} is not part of predicate {self}"
+        )
+
+    def normalised(self) -> "JoinPredicate":
+        """A canonical orientation (tables in lexicographic order)."""
+        if self.left_table <= self.right_table:
+            return self
+        return JoinPredicate(
+            self.right_table,
+            self.right_columns,
+            self.left_table,
+            self.left_columns,
+        )
+
+    def equivalent(self, other: "JoinPredicate") -> bool:
+        """True if both predicates denote the same condition."""
+        return self.normalised() == other.normalised()
+
+    def conjuncts(self) -> Iterator[tuple[str, str]]:
+        """Yield aligned (left_column, right_column) pairs."""
+        return zip(self.left_columns, self.right_columns)
+
+    def __str__(self) -> str:  # pragma: no cover - repr sugar
+        terms = " AND ".join(
+            f"{self.left_table}.{left} = {self.right_table}.{right}"
+            for left, right in self.conjuncts()
+        )
+        return terms

@@ -1,0 +1,206 @@
+"""Declarative partitioning-scheme descriptors.
+
+A scheme describes *how* a table is split across the partitions of a
+shared-nothing cluster; the :mod:`repro.partitioning.partitioner` applies
+these descriptors to data.  The paper uses HASH as the seed scheme and PREF
+for co-partitioned tables; RANGE, ROUND_ROBIN and REPLICATED are provided as
+well since the definition of PREF admits any seed scheme.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import PartitioningError
+from repro.partitioning.predicate import JoinPredicate
+
+
+class SchemeKind(enum.Enum):
+    """Discriminator for partitioning-scheme descriptors."""
+
+    HASH = "hash"
+    RANGE = "range"
+    ROUND_ROBIN = "round_robin"
+    REPLICATED = "replicated"
+    PREF = "pref"
+
+    @property
+    def is_seed(self) -> bool:
+        """Seed schemes place tuples independently of any other table."""
+        return self is not SchemeKind.PREF
+
+
+@dataclass(frozen=True)
+class HashScheme:
+    """Hash-partition on one or more columns.
+
+    Attributes:
+        columns: Partitioning columns (the hash key).
+        partition_count: Number of partitions.
+    """
+
+    columns: tuple[str, ...]
+    partition_count: int
+    kind: SchemeKind = SchemeKind.HASH
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise PartitioningError("hash scheme needs at least one column")
+        _check_count(self.partition_count)
+
+    def partition_of(self, key: object) -> int:
+        """Partition id for a key value (scalar or tuple for composites)."""
+        return stable_hash(key) % self.partition_count
+
+
+@dataclass(frozen=True)
+class RangeScheme:
+    """Range-partition on a single column with sorted upper boundaries.
+
+    Partition i holds values <= boundaries[i]; the last partition holds the
+    remainder, so ``partition_count == len(boundaries) + 1``.
+    """
+
+    column: str
+    boundaries: tuple
+    kind: SchemeKind = SchemeKind.RANGE
+
+    def __post_init__(self) -> None:
+        if list(self.boundaries) != sorted(self.boundaries):
+            raise PartitioningError("range boundaries must be sorted")
+        if not self.boundaries:
+            raise PartitioningError("range scheme needs at least one boundary")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """The partitioning columns (always a single column for RANGE)."""
+        return (self.column,)
+
+    @property
+    def partition_count(self) -> int:
+        """Number of partitions (boundaries + 1)."""
+        return len(self.boundaries) + 1
+
+    def partition_of(self, key: object) -> int:
+        """Partition id via binary search over the boundaries."""
+        import bisect
+
+        return bisect.bisect_left(self.boundaries, key)
+
+
+@dataclass(frozen=True)
+class RoundRobinScheme:
+    """Deal rows to partitions in turn (no partitioning column)."""
+
+    partition_count: int
+    kind: SchemeKind = SchemeKind.ROUND_ROBIN
+
+    def __post_init__(self) -> None:
+        _check_count(self.partition_count)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Round-robin has no partitioning columns."""
+        return ()
+
+
+@dataclass(frozen=True)
+class ReplicatedScheme:
+    """Store a full copy of the table on every node."""
+
+    partition_count: int
+    kind: SchemeKind = SchemeKind.REPLICATED
+
+    def __post_init__(self) -> None:
+        _check_count(self.partition_count)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Replication has no partitioning columns."""
+        return ()
+
+
+@dataclass(frozen=True)
+class PrefScheme:
+    """Predicate-based reference partitioning (paper Definition 1).
+
+    The table carrying this scheme (the *referencing* table R) is
+    co-partitioned with ``referenced_table`` (S): a copy of r goes to every
+    partition i where some s in Pi(S) satisfies the partitioning predicate;
+    tuples without any partner are dealt round-robin.
+
+    Attributes:
+        referenced_table: Name of S.
+        predicate: Equi-join predicate between the referencing table and S.
+    """
+
+    referenced_table: str
+    predicate: JoinPredicate
+    kind: SchemeKind = SchemeKind.PREF
+
+    def __post_init__(self) -> None:
+        if self.referenced_table not in self.predicate.tables:
+            raise PartitioningError(
+                f"PREF predicate {self.predicate} does not mention the "
+                f"referenced table {self.referenced_table!r}"
+            )
+
+    def referencing_columns(self, referencing_table: str) -> tuple[str, ...]:
+        """Predicate columns on the referencing table's side."""
+        return self.predicate.columns_of(referencing_table)
+
+    @property
+    def referenced_columns(self) -> tuple[str, ...]:
+        """Predicate columns on the referenced table's side."""
+        return self.predicate.columns_of(self.referenced_table)
+
+
+PartitioningScheme = (
+    HashScheme | RangeScheme | RoundRobinScheme | ReplicatedScheme | PrefScheme
+)
+
+SeedScheme = HashScheme | RangeScheme | RoundRobinScheme
+
+
+def stable_hash(key: object) -> int:
+    """A deterministic, process-independent hash for partitioning keys.
+
+    Python's builtin ``hash`` is salted for strings, which would make
+    partition assignments differ between runs; benchmarks and tests require
+    stable placement.
+    """
+    if isinstance(key, tuple):
+        value = 0x345678
+        for part in key:
+            value = (value * 1000003) ^ stable_hash(part)
+        return value & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, str):
+        value = 0xCBF29CE484222325
+        for char in key:
+            value = ((value ^ ord(char)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        return value & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        # splitmix64-style mixer: arithmetic patterns in key domains (e.g.
+        # sequential surrogate keys) must not correlate with partition ids.
+        value = key & 0xFFFFFFFFFFFFFFFF
+        value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (value ^ (value >> 31)) & 0x7FFFFFFFFFFFFFFF
+    if isinstance(key, float):
+        if key.is_integer():
+            return stable_hash(int(key))
+        return stable_hash(repr(key))
+    if key is None:
+        return 0x9E3779B9
+    return stable_hash(repr(key))
+
+
+def _check_count(partition_count: int) -> None:
+    if partition_count < 1:
+        raise PartitioningError(
+            f"partition_count must be >= 1, got {partition_count}"
+        )

@@ -1,0 +1,44 @@
+"""Query processing: plans, rewrite rules, distributed + local executors."""
+
+from repro.query.builder import Query
+from repro.query.cost import CostParameters, ExecutionStats
+from repro.query.executor import Executor, QueryResult
+from repro.query.expressions import and_, col, lit, not_, or_
+from repro.query.local_executor import LocalExecutor
+from repro.query.plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    JoinKind,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+from repro.query.rewrite import Annotated, Rewriter
+
+__all__ = [
+    "Aggregate",
+    "AggregateSpec",
+    "Annotated",
+    "CostParameters",
+    "ExecutionStats",
+    "Executor",
+    "Filter",
+    "Join",
+    "JoinKind",
+    "LocalExecutor",
+    "OrderBy",
+    "PlanNode",
+    "Project",
+    "Query",
+    "QueryResult",
+    "Rewriter",
+    "Scan",
+    "and_",
+    "col",
+    "lit",
+    "not_",
+    "or_",
+]

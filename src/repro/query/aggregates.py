@@ -1,0 +1,197 @@
+"""Aggregate accumulators with partial/merge support.
+
+The distributed executor computes partial aggregates per node, ships the
+compact partial states, and merges them — the standard two-phase strategy
+(the paper's XDB pushes per-node sub-plans into MySQL and combines on the
+coordinator, which is the same structure).
+
+Each accumulator supports ``add`` (consume an input value), ``state``
+(serialisable partial), ``merge_state`` and ``result``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExecutionError
+
+
+class Accumulator:
+    """Base class for aggregate accumulators."""
+
+    def add(self, value: object) -> None:
+        raise NotImplementedError
+
+    def state(self) -> object:
+        """The partial state shipped between nodes."""
+        raise NotImplementedError
+
+    def merge_state(self, state: object) -> None:
+        """Fold another node's partial state into this accumulator."""
+        raise NotImplementedError
+
+    def result(self) -> object:
+        """The final aggregate value."""
+        raise NotImplementedError
+
+    def state_bytes(self) -> int:
+        """Nominal wire size of the partial state (network cost model)."""
+        return 8
+
+
+class SumAccumulator(Accumulator):
+    """SUM over non-null inputs (None if no input)."""
+
+    def __init__(self) -> None:
+        self._total: float | int | None = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        self._total = value if self._total is None else self._total + value
+
+    def state(self) -> object:
+        return self._total
+
+    def merge_state(self, state: object) -> None:
+        if state is None:
+            return
+        self._total = state if self._total is None else self._total + state
+
+    def result(self) -> object:
+        return self._total
+
+
+class CountAccumulator(Accumulator):
+    """COUNT(expr) — counts non-null inputs; COUNT(*) feeds a sentinel."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self._count += 1
+
+    def state(self) -> object:
+        return self._count
+
+    def merge_state(self, state: object) -> None:
+        self._count += state  # type: ignore[operator]
+
+    def result(self) -> object:
+        return self._count
+
+
+class AvgAccumulator(Accumulator):
+    """AVG as (sum, count) so partials merge exactly."""
+
+    def __init__(self) -> None:
+        self._total: float = 0.0
+        self._count = 0
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        self._total += value  # type: ignore[operator]
+        self._count += 1
+
+    def state(self) -> object:
+        return (self._total, self._count)
+
+    def merge_state(self, state: object) -> None:
+        total, count = state  # type: ignore[misc]
+        self._total += total
+        self._count += count
+
+    def result(self) -> object:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+    def state_bytes(self) -> int:
+        return 16
+
+
+class MinAccumulator(Accumulator):
+    """MIN over non-null inputs."""
+
+    def __init__(self) -> None:
+        self._best: object = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self._best is None or value < self._best:  # type: ignore[operator]
+            self._best = value
+
+    def state(self) -> object:
+        return self._best
+
+    def merge_state(self, state: object) -> None:
+        self.add(state)
+
+    def result(self) -> object:
+        return self._best
+
+
+class MaxAccumulator(Accumulator):
+    """MAX over non-null inputs."""
+
+    def __init__(self) -> None:
+        self._best: object = None
+
+    def add(self, value: object) -> None:
+        if value is None:
+            return
+        if self._best is None or value > self._best:  # type: ignore[operator]
+            self._best = value
+
+    def state(self) -> object:
+        return self._best
+
+    def merge_state(self, state: object) -> None:
+        self.add(state)
+
+    def result(self) -> object:
+        return self._best
+
+
+class CountDistinctAccumulator(Accumulator):
+    """COUNT(DISTINCT expr) — partials ship the distinct-value sets."""
+
+    def __init__(self) -> None:
+        self._values: set = set()
+
+    def add(self, value: object) -> None:
+        if value is not None:
+            self._values.add(value)
+
+    def state(self) -> object:
+        return self._values
+
+    def merge_state(self, state: object) -> None:
+        self._values |= state  # type: ignore[operator]
+
+    def result(self) -> object:
+        return len(self._values)
+
+    def state_bytes(self) -> int:
+        return 8 * max(1, len(self._values))
+
+
+_FACTORIES: dict[str, Callable[[], Accumulator]] = {
+    "sum": SumAccumulator,
+    "count": CountAccumulator,
+    "avg": AvgAccumulator,
+    "min": MinAccumulator,
+    "max": MaxAccumulator,
+    "count_distinct": CountDistinctAccumulator,
+}
+
+
+def make_accumulator(func: str) -> Accumulator:
+    """Instantiate the accumulator for aggregate function *func*."""
+    try:
+        return _FACTORIES[func]()
+    except KeyError:
+        raise ExecutionError(f"unknown aggregate function {func!r}") from None

@@ -1,0 +1,131 @@
+"""A fluent builder for SPJA logical plans.
+
+Example::
+
+    plan = (
+        Query.scan("orders", alias="o")
+        .join(Query.scan("customer", alias="c"), on=[("o.custkey", "c.custkey")])
+        .aggregate(group_by=["c.cname"], aggregates=[("sum", col("o.total"), "revenue")])
+        .order_by([("revenue", False)])
+        .plan()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.query.expressions import Expression, col
+from repro.query.plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    JoinKind,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+
+
+class Query:
+    """Immutable fluent wrapper around a logical plan node."""
+
+    def __init__(self, node: PlanNode) -> None:
+        self._node = node
+
+    @classmethod
+    def scan(cls, table: str, alias: str | None = None) -> "Query":
+        """Start a query from a base-table scan."""
+        return cls(Scan(table, alias))
+
+    def where(self, condition: Expression) -> "Query":
+        """Filter rows by a boolean expression."""
+        return Query(Filter(self._node, condition))
+
+    def select(
+        self,
+        outputs: Sequence[tuple[str, Expression] | str],
+        distinct: bool = False,
+    ) -> "Query":
+        """Project output columns.
+
+        Entries may be ``(name, expression)`` pairs or bare column names
+        (projected under their short name).
+        """
+        normalised = []
+        for output in outputs:
+            if isinstance(output, str):
+                short = output.split(".")[-1]
+                normalised.append((short, col(output)))
+            else:
+                normalised.append(output)
+        return Query(Project(self._node, tuple(normalised), distinct=distinct))
+
+    def join(
+        self,
+        other: "Query",
+        on: Iterable[tuple[str, str]],
+        kind: JoinKind = JoinKind.INNER,
+        residual: Expression | None = None,
+    ) -> "Query":
+        """Equi-join with another query."""
+        return Query(
+            Join(self._node, other._node, tuple(on), kind, residual)
+        )
+
+    def semi_join(self, other: "Query", on: Iterable[tuple[str, str]]) -> "Query":
+        """Keep rows with at least one match in *other*."""
+        return self.join(other, on, kind=JoinKind.SEMI)
+
+    def anti_join(self, other: "Query", on: Iterable[tuple[str, str]]) -> "Query":
+        """Keep rows with no match in *other*."""
+        return self.join(other, on, kind=JoinKind.ANTI)
+
+    def left_join(
+        self,
+        other: "Query",
+        on: Iterable[tuple[str, str]],
+        residual: Expression | None = None,
+    ) -> "Query":
+        """Left outer join with another query."""
+        return self.join(other, on, kind=JoinKind.LEFT_OUTER, residual=residual)
+
+    def cross_join(
+        self, other: "Query", residual: Expression | None = None
+    ) -> "Query":
+        """Cross join (theta join when *residual* is given)."""
+        return Query(
+            Join(self._node, other._node, (), JoinKind.CROSS, residual)
+        )
+
+    def aggregate(
+        self,
+        group_by: Sequence[str] = (),
+        aggregates: Sequence[tuple[str, Expression | None, str]] = (),
+    ) -> "Query":
+        """Group-by aggregation; ``aggregates`` are (func, expr, name)."""
+        specs = tuple(
+            AggregateSpec(func, expr, name) for func, expr, name in aggregates
+        )
+        return Query(Aggregate(self._node, tuple(group_by), specs))
+
+    def order_by(
+        self,
+        keys: Sequence[tuple[str, bool] | str],
+        limit: int | None = None,
+    ) -> "Query":
+        """Sort (ascending by default) and optionally limit the result."""
+        normalised = tuple(
+            (key, True) if isinstance(key, str) else key for key in keys
+        )
+        return Query(OrderBy(self._node, normalised, limit))
+
+    def plan(self) -> PlanNode:
+        """The built logical plan."""
+        return self._node
+
+    def explain(self) -> str:
+        """Readable logical plan."""
+        return self._node.explain()

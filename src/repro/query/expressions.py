@@ -1,0 +1,315 @@
+"""A small expression language for filters, projections and aggregates.
+
+Expressions are bound against a relation's column list once, yielding a
+plain ``row -> value`` callable, so per-row evaluation involves no name
+lookups.  Column references may be fully qualified (``orders.custkey``) or
+abbreviated (``custkey``); abbreviations must resolve uniquely.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import PlanningError
+
+Row = tuple
+RowFn = Callable[[Row], object]
+
+_COMPARATORS: dict[str, Callable[[object, object], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_ARITHMETIC: dict[str, Callable[[object, object], object]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class Expression:
+    """Base class for all expressions."""
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        """Compile this expression against *columns*, returning row -> value."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        """Column names referenced by this expression (possibly abbreviated)."""
+        return ()
+
+    # Operator sugar so plans read naturally: col("a") == 3, col("x") + 1 ...
+    def __eq__(self, other: object):  # type: ignore[override]
+        return Comparison("=", self, _wrap(other))
+
+    def __ne__(self, other: object):  # type: ignore[override]
+        return Comparison("!=", self, _wrap(other))
+
+    def __lt__(self, other: object):
+        return Comparison("<", self, _wrap(other))
+
+    def __le__(self, other: object):
+        return Comparison("<=", self, _wrap(other))
+
+    def __gt__(self, other: object):
+        return Comparison(">", self, _wrap(other))
+
+    def __ge__(self, other: object):
+        return Comparison(">=", self, _wrap(other))
+
+    def __add__(self, other: object):
+        return Arithmetic("+", self, _wrap(other))
+
+    def __radd__(self, other: object):
+        return Arithmetic("+", _wrap(other), self)
+
+    def __sub__(self, other: object):
+        return Arithmetic("-", self, _wrap(other))
+
+    def __rsub__(self, other: object):
+        return Arithmetic("-", _wrap(other), self)
+
+    def __mul__(self, other: object):
+        return Arithmetic("*", self, _wrap(other))
+
+    def __rmul__(self, other: object):
+        return Arithmetic("*", _wrap(other), self)
+
+    def __truediv__(self, other: object):
+        return Arithmetic("/", self, _wrap(other))
+
+    def __hash__(self):
+        return id(self)
+
+
+def _wrap(value: object) -> "Expression":
+    if isinstance(value, Expression):
+        return value
+    return Literal(value)
+
+
+@dataclass(eq=False)
+class ColumnRef(Expression):
+    """Reference to a column by (possibly qualified) name."""
+
+    name: str
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        position = resolve_column(self.name, columns)
+        return lambda row: row[position]
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(eq=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: object
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+@dataclass(eq=False)
+class Comparison(Expression):
+    """Binary comparison producing a boolean."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARATORS:
+            raise PlanningError(f"unknown comparison operator {self.op!r}")
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        compare = _COMPARATORS[self.op]
+        left = self.left.bind(columns)
+        right = self.right.bind(columns)
+        return lambda row: compare(left(row), right(row))
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class Arithmetic(Expression):
+    """Binary arithmetic over numeric values."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise PlanningError(f"unknown arithmetic operator {self.op!r}")
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        apply = _ARITHMETIC[self.op]
+        left = self.left.bind(columns)
+        right = self.right.bind(columns)
+        return lambda row: apply(left(row), right(row))
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.left.referenced_columns() + self.right.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class BooleanOp(Expression):
+    """AND / OR over boolean sub-expressions."""
+
+    op: str  # "and" | "or"
+    operands: tuple[Expression, ...]
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        bound = [operand.bind(columns) for operand in self.operands]
+        if self.op == "and":
+            return lambda row: all(fn(row) for fn in bound)
+        if self.op == "or":
+            return lambda row: any(fn(row) for fn in bound)
+        raise PlanningError(f"unknown boolean operator {self.op!r}")
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        names: tuple[str, ...] = ()
+        for operand in self.operands:
+            names += operand.referenced_columns()
+        return names
+
+    def __repr__(self) -> str:
+        joiner = f" {self.op.upper()} "
+        return "(" + joiner.join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(eq=False)
+class Negation(Expression):
+    """Logical NOT."""
+
+    operand: Expression
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        bound = self.operand.bind(columns)
+        return lambda row: not bound(row)
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.operand.referenced_columns()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+@dataclass(eq=False)
+class IsNull(Expression):
+    """NULL test (``IS NULL`` / ``IS NOT NULL``)."""
+
+    operand: Expression
+    negated: bool = False
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        bound = self.operand.bind(columns)
+        if self.negated:
+            return lambda row: bound(row) is not None
+        return lambda row: bound(row) is None
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(eq=False)
+class InList(Expression):
+    """Membership test against a literal list."""
+
+    operand: Expression
+    values: tuple
+    negated: bool = False
+
+    def bind(self, columns: Sequence[str]) -> RowFn:
+        bound = self.operand.bind(columns)
+        values = frozenset(self.values)
+        if self.negated:
+            return lambda row: bound(row) not in values
+        return lambda row: bound(row) in values
+
+    def referenced_columns(self) -> tuple[str, ...]:
+        return self.operand.referenced_columns()
+
+
+def col(name: str) -> ColumnRef:
+    """Shorthand constructor for a column reference."""
+    return ColumnRef(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def and_(*operands: Expression) -> Expression:
+    """Conjunction of one or more boolean expressions."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("and", tuple(operands))
+
+
+def or_(*operands: Expression) -> Expression:
+    """Disjunction of one or more boolean expressions."""
+    if len(operands) == 1:
+        return operands[0]
+    return BooleanOp("or", tuple(operands))
+
+
+def not_(operand: Expression) -> Negation:
+    """Logical negation."""
+    return Negation(operand)
+
+
+def resolve_column(name: str, columns: Sequence[str]) -> int:
+    """Resolve a (possibly abbreviated) column name to a position.
+
+    Exact matches win; otherwise ``name`` matches a single column whose
+    qualified name ends with ``.name``.
+
+    Raises:
+        PlanningError: If the name is unknown or ambiguous.
+    """
+    try:
+        return columns.index(name) if isinstance(columns, list) else list(columns).index(name)
+    except ValueError:
+        pass
+    suffix = "." + name
+    matches = [
+        position
+        for position, column in enumerate(columns)
+        if column.endswith(suffix)
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise PlanningError(
+            f"unknown column {name!r}; available: {list(columns)}"
+        )
+    raise PlanningError(
+        f"ambiguous column {name!r} matches "
+        f"{[columns[m] for m in matches]}"
+    )

@@ -1,0 +1,14 @@
+"""SQL front end: lexer, parser, and planner for an SPJA dialect."""
+
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_select
+from repro.sql.planner import plan_select, sql_to_plan
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "parse_select",
+    "plan_select",
+    "sql_to_plan",
+    "tokenize",
+]

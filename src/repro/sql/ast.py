@@ -1,0 +1,93 @@
+"""AST nodes produced by the SQL parser."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.query.expressions import Expression
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One SELECT-list entry: an expression with an optional alias."""
+
+    expression: Expression | None  # None for bare '*'
+    alias: str | None = None
+    aggregate: str | None = None  # sum/count/avg/min/max/count_distinct
+    star: bool = False  # COUNT(*) or SELECT *
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """An explicit JOIN clause."""
+
+    table: TableRef
+    kind: str  # "inner" | "left" | "cross"
+    condition: Expression | None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key."""
+
+    column: str
+    ascending: bool = True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT statement."""
+
+    items: list[SelectItem]
+    distinct: bool
+    base: TableRef
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Expression | None = None
+    group_by: list[str] = field(default_factory=list)
+    having: Expression | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+class SubqueryExpression(Expression):
+    """Marker base for subquery predicates (only legal in WHERE)."""
+
+    def bind(self, columns):  # pragma: no cover - rejected during planning
+        from repro.errors import SqlError
+
+        raise SqlError("subquery predicates are only supported in WHERE")
+
+
+@dataclass(eq=False)
+class ExistsExpression(SubqueryExpression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    select: "SelectStatement"
+    negated: bool = False
+
+    def referenced_columns(self):
+        return ()
+
+
+@dataclass(eq=False)
+class InSubqueryExpression(SubqueryExpression):
+    """``column [NOT] IN (SELECT ...)``."""
+
+    operand: Expression
+    select: "SelectStatement"
+    negated: bool = False
+
+    def referenced_columns(self):
+        return self.operand.referenced_columns()

@@ -1,0 +1,106 @@
+"""Tokeniser for the SQL dialect of the :mod:`repro.sql` front end."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "select", "distinct", "from", "where", "group", "by", "order", "limit",
+    "having", "as", "and", "or", "not", "in", "between", "is", "null",
+    "join", "inner", "left", "right", "outer", "cross", "on", "asc", "desc",
+    "sum", "count", "avg", "min", "max", "exists", "like", "union", "all",
+}
+
+SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+",
+           "-", "/", ".")
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def is_symbol(self, *symbols: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value in symbols
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens.
+
+    Raises:
+        SqlSyntaxError: On unterminated strings or unexpected characters.
+    """
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char.isspace():
+            index += 1
+            continue
+        if char == "'":
+            end = text.find("'", index + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated string at offset {index}")
+            tokens.append(Token(TokenType.STRING, text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and text[index + 1].isdigit()
+        ):
+            end = index
+            seen_dot = False
+            while end < length and (
+                text[end].isdigit() or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # A dot not followed by a digit terminates the number
+                    # (it is a qualifier dot, e.g. "t1.x" after "1").
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, text[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[index:end]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, index))
+            else:
+                tokens.append(Token(TokenType.IDENTIFIER, word, index))
+            index = end
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(Token(TokenType.SYMBOL, symbol, index))
+                index += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(
+                f"unexpected character {char!r} at offset {index}"
+            )
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens

@@ -1,0 +1,388 @@
+"""Recursive-descent parser for the SPJA SQL dialect.
+
+Grammar (informal)::
+
+    select    := SELECT [DISTINCT] items FROM table_ref join* [WHERE expr]
+                 [GROUP BY cols] [HAVING expr] [ORDER BY keys] [LIMIT n]
+    items     := item ("," item)* | "*"
+    item      := agg "(" [DISTINCT] expr | "*" ")" [AS name]
+               | expr [AS name]
+    join      := [INNER | LEFT [OUTER] | CROSS] JOIN table_ref [ON expr]
+               | "," table_ref
+    expr      := or_expr with AND/OR/NOT, comparisons, IN, BETWEEN,
+                 IS [NOT] NULL, + - * /, parentheses
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlSyntaxError
+from repro.query.expressions import (
+    Arithmetic,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    InList,
+    IsNull,
+    Literal,
+    Negation,
+    and_,
+)
+from repro.sql.ast import (
+    ExistsExpression,
+    InSubqueryExpression,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+AGGREGATES = ("sum", "count", "avg", "min", "max")
+
+
+class Parser:
+    """Parses one SELECT statement."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(*names):
+            raise SqlSyntaxError(
+                f"expected {'/'.join(names).upper()} at offset "
+                f"{token.position}, found {token.value!r}"
+            )
+        return token
+
+    def expect_symbol(self, symbol: str) -> Token:
+        token = self.advance()
+        if not token.is_symbol(symbol):
+            raise SqlSyntaxError(
+                f"expected {symbol!r} at offset {token.position}, "
+                f"found {token.value!r}"
+            )
+        return token
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.peek().is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.peek().is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    # -- entry point ----------------------------------------------------------------
+
+    def parse(self) -> SelectStatement:
+        """Parse the statement, requiring all input to be consumed."""
+        statement = self._select()
+        token = self.peek()
+        if token.type is not TokenType.END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input at offset {token.position}: "
+                f"{token.value!r}"
+            )
+        return statement
+
+    def _select(self) -> SelectStatement:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = self._select_items()
+        self.expect_keyword("from")
+        base = self._table_ref()
+        joins: list[JoinClause] = []
+        while True:
+            if self.accept_symbol(","):
+                joins.append(JoinClause(self._table_ref(), "inner", None))
+                continue
+            kind = self._join_kind()
+            if kind is None:
+                break
+            table = self._table_ref()
+            condition = None
+            if self.accept_keyword("on"):
+                condition = self._expr()
+            elif kind != "cross":
+                raise SqlSyntaxError("JOIN requires an ON condition")
+            joins.append(JoinClause(table, kind, condition))
+        where = self._expr() if self.accept_keyword("where") else None
+        group_by: list[str] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by = self._column_list()
+        having = self._expr() if self.accept_keyword("having") else None
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by = self._order_items()
+        limit = None
+        if self.accept_keyword("limit"):
+            token = self.advance()
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT requires a number")
+            limit = int(token.value)
+        return SelectStatement(
+            items=items,
+            distinct=distinct,
+            base=base,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _join_kind(self) -> str | None:
+        if self.accept_keyword("join"):
+            return "inner"
+        if self.accept_keyword("inner"):
+            self.expect_keyword("join")
+            return "inner"
+        if self.accept_keyword("left"):
+            self.accept_keyword("outer")
+            self.expect_keyword("join")
+            return "left"
+        if self.accept_keyword("cross"):
+            self.expect_keyword("join")
+            return "cross"
+        return None
+
+    # -- select list -----------------------------------------------------------------
+
+    def _select_items(self) -> list[SelectItem]:
+        if self.accept_symbol("*"):
+            return [SelectItem(None, None, None, star=True)]
+        items = [self._select_item()]
+        while self.accept_symbol(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        token = self.peek()
+        if token.is_keyword(*AGGREGATES):
+            func = self.advance().value
+            self.expect_symbol("(")
+            distinct = self.accept_keyword("distinct")
+            if self.accept_symbol("*"):
+                if func != "count":
+                    raise SqlSyntaxError(f"{func.upper()}(*) is not valid")
+                expression = None
+                star = True
+            else:
+                expression = self._expr()
+                star = False
+            self.expect_symbol(")")
+            if distinct:
+                if func != "count":
+                    raise SqlSyntaxError("DISTINCT only supported in COUNT")
+                func = "count_distinct"
+            alias = self._alias() or f"{func}_{len(func)}"
+            return SelectItem(expression, alias, func, star=star)
+        expression = self._expr()
+        return SelectItem(expression, self._alias(), None)
+
+    def _alias(self) -> str | None:
+        if self.accept_keyword("as"):
+            token = self.advance()
+            if token.type is not TokenType.IDENTIFIER:
+                raise SqlSyntaxError("expected alias name after AS")
+            return token.value
+        if self.peek().type is TokenType.IDENTIFIER:
+            return self.advance().value
+        return None
+
+    def _table_ref(self) -> TableRef:
+        token = self.advance()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected table name at offset {token.position}"
+            )
+        alias = self._alias()
+        return TableRef(token.value, alias)
+
+    def _column_list(self) -> list[str]:
+        columns = [self._column_name()]
+        while self.accept_symbol(","):
+            columns.append(self._column_name())
+        return columns
+
+    def _column_name(self) -> str:
+        token = self.advance()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected column name at offset {token.position}"
+            )
+        name = token.value
+        while self.accept_symbol("."):
+            part = self.advance()
+            name += "." + part.value
+        return name
+
+    def _order_items(self) -> list[OrderItem]:
+        items = []
+        while True:
+            column = self._column_name()
+            ascending = True
+            if self.accept_keyword("desc"):
+                ascending = False
+            else:
+                self.accept_keyword("asc")
+            items.append(OrderItem(column, ascending))
+            if not self.accept_symbol(","):
+                return items
+
+    # -- expressions ---------------------------------------------------------------
+
+    def _expr(self) -> Expression:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self.accept_keyword("or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("or", tuple(operands))
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self.accept_keyword("and"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("and", tuple(operands))
+
+    def _not_expr(self) -> Expression:
+        if self.peek().is_keyword("exists"):
+            return self._exists(negated=False)
+        if self.accept_keyword("not"):
+            if self.peek().is_keyword("exists"):
+                return self._exists(negated=True)
+            return Negation(self._not_expr())
+        return self._comparison()
+
+    def _exists(self, negated: bool) -> Expression:
+        self.expect_keyword("exists")
+        self.expect_symbol("(")
+        select = self._select()
+        self.expect_symbol(")")
+        return ExistsExpression(select, negated=negated)
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self.peek()
+        if token.is_symbol("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "<>":
+                op = "!="
+            right = self._additive()
+            return Comparison(op, left, right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._additive()
+            self.expect_keyword("and")
+            high = self._additive()
+            return and_(
+                Comparison(">=", left, low), Comparison("<=", left, high)
+            )
+        if token.is_keyword("in") or token.is_keyword("not"):
+            negated = False
+            if token.is_keyword("not"):
+                # only NOT IN reaches here (NOT expr handled above)
+                save = self.index
+                self.advance()
+                if not self.accept_keyword("in"):
+                    self.index = save
+                    return left
+                negated = True
+            else:
+                self.advance()
+            self.expect_symbol("(")
+            if self.peek().is_keyword("select"):
+                select = self._select()
+                self.expect_symbol(")")
+                return InSubqueryExpression(left, select, negated=negated)
+            values = [self._literal_value()]
+            while self.accept_symbol(","):
+                values.append(self._literal_value())
+            self.expect_symbol(")")
+            return InList(left, tuple(values), negated=negated)
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return IsNull(left, negated=negated)
+        return left
+
+    def _additive(self) -> Expression:
+        left = self._multiplicative()
+        while self.peek().is_symbol("+", "-"):
+            op = self.advance().value
+            left = Arithmetic(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expression:
+        left = self._primary()
+        while self.peek().is_symbol("*", "/"):
+            op = self.advance().value
+            left = Arithmetic(op, left, self._primary())
+        return left
+
+    def _primary(self) -> Expression:
+        token = self.advance()
+        if token.is_symbol("("):
+            inner = self._expr()
+            self.expect_symbol(")")
+            return inner
+        if token.is_symbol("-"):
+            operand = self._primary()
+            return Arithmetic("-", Literal(0), operand)
+        if token.type is TokenType.NUMBER:
+            value = float(token.value) if "." in token.value else int(token.value)
+            return Literal(value)
+        if token.type is TokenType.STRING:
+            return Literal(token.value)
+        if token.is_keyword("null"):
+            return Literal(None)
+        if token.type is TokenType.IDENTIFIER:
+            name = token.value
+            while self.accept_symbol("."):
+                part = self.advance()
+                name += "." + part.value
+            return ColumnRef(name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value!r} at offset {token.position}"
+        )
+
+    def _literal_value(self):
+        token = self.advance()
+        if token.type is TokenType.NUMBER:
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.type is TokenType.STRING:
+            return token.value
+        raise SqlSyntaxError("IN lists may contain only literals")
+
+
+def parse_select(text: str) -> SelectStatement:
+    """Parse one SELECT statement."""
+    return Parser(text).parse()

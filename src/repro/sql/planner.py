@@ -1,0 +1,436 @@
+"""Plans parsed SQL statements into logical SPJA plans.
+
+Responsibilities: filter pushdown to the owning scan, extraction of
+equi-join predicates from ON/WHERE conjuncts, greedy join-order selection
+along connected predicates (avoiding cross products when possible), and the
+aggregation/having/projection/order pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.schema import DatabaseSchema
+from repro.errors import SqlError
+from repro.query.expressions import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Expression,
+    and_,
+)
+from repro.query.plan import (
+    Aggregate,
+    AggregateSpec,
+    Filter,
+    Join,
+    JoinKind,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+)
+from repro.query.expressions import Negation
+from repro.sql.ast import (
+    ExistsExpression,
+    InSubqueryExpression,
+    SelectStatement,
+    SubqueryExpression,
+)
+from repro.sql.parser import parse_select
+
+
+@dataclass
+class _Source:
+    alias: str
+    table: str
+    filters: list[Expression]
+    kind: str = "inner"  # how it joins in (inner/left/cross)
+    on: Expression | None = None
+
+
+def plan_select(statement: SelectStatement, schema: DatabaseSchema) -> PlanNode:
+    """Turn a parsed SELECT into a logical plan against *schema*."""
+    planner = _Planner(statement, schema)
+    return planner.plan()
+
+
+def sql_to_plan(text: str, schema: DatabaseSchema) -> PlanNode:
+    """Parse and plan a SELECT statement in one step."""
+    return plan_select(parse_select(text), schema)
+
+
+class _Planner:
+    def __init__(self, statement: SelectStatement, schema: DatabaseSchema) -> None:
+        self.statement = statement
+        self.schema = schema
+        self.sources: list[_Source] = []
+        self.sources.append(
+            _Source(statement.base.name, statement.base.table, [])
+        )
+        for join in statement.joins:
+            self.sources.append(
+                _Source(
+                    join.table.name,
+                    join.table.table,
+                    [],
+                    kind=join.kind,
+                    on=join.condition,
+                )
+            )
+        seen = set()
+        for source in self.sources:
+            if source.alias in seen:
+                raise SqlError(f"duplicate table alias {source.alias!r}")
+            seen.add(source.alias)
+            if not schema.has_table(source.table):
+                raise SqlError(f"unknown table {source.table!r}")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _owner(self, column: str) -> str | None:
+        """Alias owning a (possibly qualified) column reference."""
+        if "." in column:
+            qualifier = column.split(".", 1)[0]
+            for source in self.sources:
+                if source.alias == qualifier:
+                    return source.alias
+            return None
+        owners = [
+            source.alias
+            for source in self.sources
+            if self.schema.table(source.table).has_column(column)
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def _aliases_of(self, expression: Expression) -> set[str] | None:
+        """Aliases referenced by an expression (None if any unresolved)."""
+        aliases: set[str] = set()
+        for column in expression.referenced_columns():
+            owner = self._owner(column)
+            if owner is None:
+                return None
+            aliases.add(owner)
+        return aliases
+
+    @staticmethod
+    def _conjuncts(expression: Expression | None) -> list[Expression]:
+        if expression is None:
+            return []
+        if isinstance(expression, BooleanOp) and expression.op == "and":
+            result = []
+            for operand in expression.operands:
+                result.extend(_Planner._conjuncts(operand))
+            return result
+        return [expression]
+
+    def _qualify(self, column: str) -> str:
+        """Fully qualify a column reference for the executor."""
+        if "." in column:
+            return column
+        owner = self._owner(column)
+        if owner is None:
+            return column
+        return f"{owner}.{column}"
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(self) -> PlanNode:
+        join_predicates: list[tuple[str, str, str, str]] = []
+        residuals: list[Expression] = []
+        subqueries: list[SubqueryExpression] = []
+
+        def classify(expression: Expression, allow_push: bool) -> None:
+            if isinstance(expression, Negation) and isinstance(
+                expression.operand, ExistsExpression
+            ):
+                expression = ExistsExpression(
+                    expression.operand.select,
+                    negated=not expression.operand.negated,
+                )
+            if isinstance(expression, SubqueryExpression):
+                subqueries.append(expression)
+                return
+            if (
+                isinstance(expression, Comparison)
+                and expression.op == "="
+                and isinstance(expression.left, ColumnRef)
+                and isinstance(expression.right, ColumnRef)
+            ):
+                left_owner = self._owner(expression.left.name)
+                right_owner = self._owner(expression.right.name)
+                outer_kinds = {
+                    source.alias: source.kind for source in self.sources
+                }
+                if (
+                    left_owner is not None
+                    and right_owner is not None
+                    and left_owner != right_owner
+                    and outer_kinds.get(left_owner) != "left"
+                    and outer_kinds.get(right_owner) != "left"
+                ):
+                    join_predicates.append(
+                        (
+                            left_owner,
+                            self._qualify(expression.left.name),
+                            right_owner,
+                            self._qualify(expression.right.name),
+                        )
+                    )
+                    return
+            aliases = self._aliases_of(expression)
+            if allow_push and aliases is not None and len(aliases) == 1:
+                alias = next(iter(aliases))
+                for source in self.sources:
+                    if source.alias == alias:
+                        if source.kind == "left":
+                            # WHERE filters on an outer-joined table apply
+                            # AFTER the padding; pushing them below the
+                            # join would change the query's semantics.
+                            break
+                        source.filters.append(expression)
+                        return
+            residuals.append(expression)
+
+        for source in self.sources:
+            if source.on is not None and source.kind == "inner":
+                for conjunct in self._conjuncts(source.on):
+                    classify(conjunct, allow_push=True)
+        for conjunct in self._conjuncts(self.statement.where):
+            classify(conjunct, allow_push=True)
+
+        plan = self._join_sources(join_predicates, residuals)
+        for residual in residuals:
+            plan = Filter(plan, residual)
+        for subquery in subqueries:
+            plan = self._apply_subquery(plan, subquery)
+        plan = self._aggregate_and_project(plan)
+        if self.statement.order_by or self.statement.limit is not None:
+            if self.statement.order_by:
+                keys = tuple(
+                    (self._order_key_name(item.column), item.ascending)
+                    for item in self.statement.order_by
+                )
+            else:
+                # LIMIT without ORDER BY: order by the first output column.
+                keys = ((self._first_output_column(), True),)
+            plan = OrderBy(plan, keys, self.statement.limit)
+        return plan
+
+    def _apply_subquery(
+        self, plan: PlanNode, expression: SubqueryExpression
+    ) -> PlanNode:
+        """De-sugar [NOT] EXISTS / [NOT] IN (SELECT ...) to semi/anti joins."""
+        kind = JoinKind.ANTI if expression.negated else JoinKind.SEMI
+        if isinstance(expression, InSubqueryExpression):
+            statement = expression.select
+            if len(statement.items) != 1 or statement.items[0].star:
+                raise SqlError(
+                    "IN subqueries must select exactly one column"
+                )
+            item = statement.items[0]
+            if item.aggregate or not isinstance(item.expression, ColumnRef):
+                raise SqlError(
+                    "IN subqueries must select a plain column"
+                )
+            inner = _Planner(statement, self.schema).plan()
+            inner_key = item.alias or item.expression.name.split(".")[-1]
+            outer_key = self._qualify_expression_column(expression.operand)
+            return Join(plan, inner, ((outer_key, inner_key),), kind)
+        assert isinstance(expression, ExistsExpression)
+        statement = expression.select
+        nested = _Planner(statement, self.schema)
+        correlations: list[tuple[str, str]] = []
+        remaining: list[Expression] = []
+        for conjunct in self._conjuncts(statement.where):
+            pair = self._correlation_pair(conjunct, nested)
+            if pair is not None:
+                correlations.append(pair)
+            else:
+                remaining.append(conjunct)
+        if not correlations:
+            raise SqlError(
+                "EXISTS subqueries need an equality correlating them with "
+                "the outer query"
+            )
+        import copy
+
+        decorrelated = copy.copy(statement)
+        decorrelated.where = and_(*remaining) if remaining else None
+        inner = _Planner(decorrelated, self.schema).plan()
+        return Join(plan, inner, tuple(correlations), kind)
+
+    def _correlation_pair(
+        self, conjunct: Expression, nested: "_Planner"
+    ) -> tuple[str, str] | None:
+        """(outer_column, inner_column) if *conjunct* correlates the scopes."""
+        if not (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            return None
+        left_inner = nested._owner(conjunct.left.name)
+        right_inner = nested._owner(conjunct.right.name)
+        if left_inner is not None and right_inner is None:
+            outer = self._owner(conjunct.right.name)
+            if outer is not None:
+                return (
+                    self._qualify(conjunct.right.name),
+                    f"{left_inner}.{conjunct.left.name.split('.')[-1]}",
+                )
+        if right_inner is not None and left_inner is None:
+            outer = self._owner(conjunct.left.name)
+            if outer is not None:
+                return (
+                    self._qualify(conjunct.left.name),
+                    f"{right_inner}.{conjunct.right.name.split('.')[-1]}",
+                )
+        return None
+
+    def _qualify_expression_column(self, expression: Expression) -> str:
+        if not isinstance(expression, ColumnRef):
+            raise SqlError("IN subqueries require a plain column operand")
+        return self._qualify(expression.name)
+
+    def _order_key_name(self, column: str) -> str:
+        """Resolve an ORDER BY reference against the projected outputs."""
+        short = column.split(".")[-1]
+        for index, item in enumerate(self.statement.items):
+            if item.alias == column or item.alias == short:
+                return item.alias
+            if isinstance(item.expression, ColumnRef):
+                ref_short = item.expression.name.split(".")[-1]
+                if item.expression.name == column or ref_short == short:
+                    return item.alias or ref_short
+        return column
+
+    def _join_sources(
+        self,
+        join_predicates: list[tuple[str, str, str, str]],
+        residuals: list[Expression],
+    ) -> PlanNode:
+        def scan_of(source: _Source) -> PlanNode:
+            node: PlanNode = Scan(source.table, source.alias)
+            for filter_expression in source.filters:
+                node = Filter(node, filter_expression)
+            return node
+
+        # LEFT JOIN sources keep their declared order and ON condition.
+        inner_sources = [s for s in self.sources if s.kind != "left"]
+        left_sources = [s for s in self.sources if s.kind == "left"]
+
+        joined = {inner_sources[0].alias}
+        plan = scan_of(inner_sources[0])
+        pending = inner_sources[1:]
+        predicates = list(join_predicates)
+        while pending:
+            progressed = False
+            for source in list(pending):
+                keys = [
+                    (l, r) if left_owner in joined else (r, l)
+                    for (left_owner, l, right_owner, r) in predicates
+                    if (left_owner in joined and right_owner == source.alias)
+                    or (right_owner in joined and left_owner == source.alias)
+                ]
+                if keys:
+                    plan = Join(plan, scan_of(source), tuple(keys))
+                    joined.add(source.alias)
+                    pending.remove(source)
+                    predicates = [
+                        p
+                        for p in predicates
+                        if not (
+                            (p[0] in joined and p[2] in joined)
+                            and (source.alias in (p[0], p[2]))
+                        )
+                    ]
+                    progressed = True
+            if not progressed:
+                source = pending.pop(0)
+                residual = source.on if source.kind == "cross" else None
+                plan = Join(
+                    plan, scan_of(source), (), JoinKind.CROSS, residual
+                )
+                joined.add(source.alias)
+        for source in left_sources:
+            keys = []
+            for conjunct in self._conjuncts(source.on):
+                if (
+                    isinstance(conjunct, Comparison)
+                    and conjunct.op == "="
+                    and isinstance(conjunct.left, ColumnRef)
+                    and isinstance(conjunct.right, ColumnRef)
+                ):
+                    left_name = self._qualify(conjunct.left.name)
+                    right_name = self._qualify(conjunct.right.name)
+                    if self._owner(conjunct.left.name) == source.alias:
+                        keys.append((right_name, left_name))
+                    else:
+                        keys.append((left_name, right_name))
+            if not keys:
+                raise SqlError("LEFT JOIN requires an equi-join ON condition")
+            plan = Join(plan, scan_of(source), tuple(keys), JoinKind.LEFT_OUTER)
+            joined.add(source.alias)
+        return plan
+
+    def _aggregate_and_project(self, plan: PlanNode) -> PlanNode:
+        statement = self.statement
+        has_aggregates = any(item.aggregate for item in statement.items)
+        if not has_aggregates and not statement.group_by:
+            if len(statement.items) == 1 and statement.items[0].star:
+                return plan  # SELECT * — no projection needed
+            outputs = []
+            for index, item in enumerate(statement.items):
+                name = item.alias or self._default_name(item, index)
+                outputs.append((name, item.expression))
+            return Project(plan, tuple(outputs), distinct=statement.distinct)
+        group_by = tuple(self._qualify(c) for c in statement.group_by)
+        specs = []
+        for index, item in enumerate(statement.items):
+            if not item.aggregate:
+                continue
+            name = item.alias or self._default_name(item, index)
+            expression = None if item.star else item.expression
+            specs.append(AggregateSpec(item.aggregate, expression, name))
+        plan = Aggregate(plan, group_by, tuple(specs))
+        if statement.having is not None:
+            plan = Filter(plan, statement.having)
+        # Re-project to the declared select order / aliases.
+        outputs = []
+        for index, item in enumerate(statement.items):
+            name = item.alias or self._default_name(item, index)
+            if item.aggregate:
+                outputs.append((name, ColumnRef(name)))
+            else:
+                column = item.expression
+                if not isinstance(column, ColumnRef):
+                    raise SqlError(
+                        "non-aggregate SELECT items must be plain group-by "
+                        "columns"
+                    )
+                short = column.name.split(".")[-1]
+                outputs.append((item.alias or short, ColumnRef(column.name)))
+        return Project(plan, tuple(outputs), distinct=statement.distinct)
+
+    def _default_name(self, item, index: int) -> str:
+        if item.expression is not None and isinstance(item.expression, ColumnRef):
+            return item.expression.name.split(".")[-1]
+        if item.aggregate:
+            return f"{item.aggregate}_{index}"
+        return f"col_{index}"
+
+    def _first_output_column(self) -> str:
+        item = self.statement.items[0]
+        if item.star:
+            source = self.sources[0]
+            return (
+                f"{source.alias}."
+                f"{self.schema.table(source.table).columns[0].name}"
+            )
+        if item.alias:
+            return item.alias
+        return self._default_name(item, 0)

@@ -1,0 +1,89 @@
+"""A compact append-only bitmap used for the PREF ``dup``/``hasS`` indexes.
+
+Paper Section 2.1 attaches two bitmap indexes to every PREF-partitioned
+table: ``dup`` marks duplicate copies introduced by PREF partitioning and
+``hasS`` marks tuples that have a partitioning partner in the referenced
+table.  Bits are stored packed, eight per byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Bitmap:
+    """A growable sequence of bits with list-like access."""
+
+    __slots__ = ("_bytes", "_length")
+
+    def __init__(self, bits: Iterable[bool] = ()) -> None:
+        self._bytes = bytearray()
+        self._length = 0
+        for bit in bits:
+            self.append(bit)
+
+    @classmethod
+    def zeros(cls, length: int) -> "Bitmap":
+        """Return a bitmap of *length* cleared bits."""
+        bitmap = cls()
+        bitmap._bytes = bytearray((length + 7) // 8)
+        bitmap._length = length
+        return bitmap
+
+    def append(self, bit: bool) -> None:
+        """Append one bit."""
+        byte_index, bit_index = divmod(self._length, 8)
+        if byte_index == len(self._bytes):
+            self._bytes.append(0)
+        if bit:
+            self._bytes[byte_index] |= 1 << bit_index
+        self._length += 1
+
+    def extend(self, bits: Iterable[bool]) -> None:
+        """Append several bits."""
+        for bit in bits:
+            self.append(bit)
+
+    def __getitem__(self, index: int) -> bool:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bitmap index out of range")
+        byte_index, bit_index = divmod(index, 8)
+        return bool(self._bytes[byte_index] >> bit_index & 1)
+
+    def __setitem__(self, index: int, bit: bool) -> None:
+        if index < 0:
+            index += self._length
+        if not 0 <= index < self._length:
+            raise IndexError("bitmap index out of range")
+        byte_index, bit_index = divmod(index, 8)
+        if bit:
+            self._bytes[byte_index] |= 1 << bit_index
+        else:
+            self._bytes[byte_index] &= ~(1 << bit_index)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[bool]:
+        for index in range(self._length):
+            yield self[index]
+
+    def count(self) -> int:
+        """Number of set bits."""
+        total = sum(_POPCOUNT[byte] for byte in self._bytes)
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self._length == other._length and list(self) == list(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        shown = "".join("1" if bit else "0" for bit in list(self)[:32])
+        suffix = "..." if self._length > 32 else ""
+        return f"Bitmap({shown}{suffix}, len={self._length})"
+
+
+_POPCOUNT = [bin(value).count("1") for value in range(256)]

@@ -1,0 +1,76 @@
+"""A single horizontal partition of a table, with PREF bookkeeping.
+
+Each partition stores its rows plus three parallel structures:
+
+* ``source_ids`` — the global id of the base tuple each stored row is a copy
+  of.  PREF partitioning may place copies of the same base tuple in several
+  partitions; all copies share a source id.  This is what lets tests prove
+  that duplicate elimination keeps exactly one copy of every logical row.
+* ``dup`` — the paper's first bitmap index: 0 for the canonical (first)
+  occurrence of a base tuple across all partitions, 1 for every other copy.
+* ``has_partner`` — the paper's ``hasS`` bitmap index: 1 if the tuple has at
+  least one partitioning partner in the referenced table (drives the
+  semi-/anti-join rewrites of Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.storage.bitmap import Bitmap
+
+Row = tuple
+
+
+class Partition:
+    """Rows of one partition plus the PREF bitmap indexes."""
+
+    __slots__ = ("partition_id", "rows", "source_ids", "dup", "has_partner")
+
+    def __init__(self, partition_id: int) -> None:
+        self.partition_id = partition_id
+        self.rows: list[Row] = []
+        self.source_ids: list[int] = []
+        self.dup = Bitmap()
+        self.has_partner = Bitmap()
+
+    def append(
+        self,
+        row: Sequence,
+        source_id: int,
+        duplicate: bool = False,
+        has_partner: bool = True,
+    ) -> None:
+        """Store one (copy of a) tuple in this partition."""
+        self.rows.append(tuple(row))
+        self.source_ids.append(source_id)
+        self.dup.append(duplicate)
+        self.has_partner.append(has_partner)
+
+    @property
+    def row_count(self) -> int:
+        """Number of stored rows (counting duplicates)."""
+        return len(self.rows)
+
+    @property
+    def duplicate_count(self) -> int:
+        """Number of rows flagged as PREF duplicates."""
+        return self.dup.count()
+
+    def canonical_rows(self) -> Iterator[Row]:
+        """Yield only rows whose ``dup`` bit is 0."""
+        for index, row in enumerate(self.rows):
+            if not self.dup[index]:
+                yield row
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"Partition(id={self.partition_id}, rows={self.row_count}, "
+            f"dups={self.duplicate_count})"
+        )

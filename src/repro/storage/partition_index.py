@@ -1,0 +1,57 @@
+"""Partition indexes: hash maps from key values to partition ids.
+
+Paper Section 2.3 introduces a *partition index* on the referenced attribute
+of a PREF scheme so that bulk loading a referencing table can look up the
+target partitions of each new tuple without executing a join against the
+referenced table.  The same structure is what the partitioner itself uses to
+apply a PREF scheme in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+Row = tuple
+
+
+class PartitionIndex:
+    """Maps each distinct key value to the set of partitions containing it."""
+
+    __slots__ = ("columns", "_entries")
+
+    def __init__(self, columns: tuple[str, ...]) -> None:
+        self.columns = columns
+        self._entries: dict[Hashable, set[int]] = {}
+
+    def add(self, key: Hashable, partition_id: int) -> None:
+        """Record that *key* occurs in *partition_id*."""
+        self._entries.setdefault(key, set()).add(partition_id)
+
+    def add_all(self, keys: Iterable[Hashable], partition_id: int) -> None:
+        """Record many keys for one partition (bulk-load fast path)."""
+        entries = self._entries
+        for key in keys:
+            entries.setdefault(key, set()).add(partition_id)
+
+    def partitions_of(self, key: Hashable) -> frozenset[int]:
+        """Partitions containing *key* (empty if the key is unknown)."""
+        found = self._entries.get(key)
+        return frozenset(found) if found else frozenset()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> Iterator[tuple[Hashable, frozenset[int]]]:
+        """Iterate over (key, partition set) pairs."""
+        for key, partitions in self._entries.items():
+            yield key, frozenset(partitions)
+
+    def as_mapping(self) -> Mapping[Hashable, frozenset[int]]:
+        """A snapshot copy of the index contents."""
+        return {key: frozenset(parts) for key, parts in self._entries.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"PartitionIndex(columns={self.columns}, keys={len(self)})"

@@ -1,0 +1,223 @@
+"""Partitioned tables and databases (the ``DP`` of the paper).
+
+A :class:`PartitionedTable` is the result of applying a partitioning scheme
+to a base table: ``partition_count`` :class:`~repro.storage.partition.Partition`
+objects, plus cached partition indexes, plus — for PREF tables — a pointer to
+the scheme's seed table (the first non-PREF table along the chain of
+partitioning predicates, paper Definition 1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError, UnknownObjectError
+from repro.partitioning.scheme import PartitioningScheme, SchemeKind
+from repro.storage.partition import Partition
+from repro.storage.partition_index import PartitionIndex
+
+Row = tuple
+
+
+class PartitionedTable:
+    """A table split into partitions under one partitioning scheme."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        scheme: PartitioningScheme,
+        partition_count: int,
+        seed_table: str | None = None,
+    ) -> None:
+        if partition_count < 1:
+            raise StorageError("partition_count must be >= 1")
+        self.schema = schema
+        self.scheme = scheme
+        self.partition_count = partition_count
+        #: Name of the seed table of this table's PREF chain.  For seed
+        #: schemes this is the table itself.
+        self.seed_table = seed_table if seed_table is not None else schema.name
+        self.partitions: list[Partition] = [
+            Partition(partition_id) for partition_id in range(partition_count)
+        ]
+        self._indexes: dict[tuple[str, ...], PartitionIndex] = {}
+        self._next_source_id = 0
+        #: For PREF tables whose chain predicates compose into a functional
+        #: mapping from own columns to the seed's hash key (classic REF
+        #: chains), the verified columns this table is effectively
+        #: hash-placed on.  Lets the rewriter treat chain joins as local.
+        self.effective_hash: tuple[str, ...] | None = None
+
+    @property
+    def name(self) -> str:
+        """The table name."""
+        return self.schema.name
+
+    @property
+    def is_pref(self) -> bool:
+        """True if this table is PREF partitioned."""
+        return self.scheme.kind is SchemeKind.PREF
+
+    @property
+    def is_replicated(self) -> bool:
+        """True if this table is fully replicated."""
+        return self.scheme.kind is SchemeKind.REPLICATED
+
+    # -- source ids ---------------------------------------------------------
+
+    def allocate_source_id(self) -> int:
+        """Reserve a fresh global id for a new base tuple."""
+        source_id = self._next_source_id
+        self._next_source_id += 1
+        return source_id
+
+    # -- size accounting -----------------------------------------------------
+
+    @property
+    def total_rows(self) -> int:
+        """Stored rows across all partitions, counting duplicates (|T^P|)."""
+        return sum(partition.row_count for partition in self.partitions)
+
+    @property
+    def canonical_row_count(self) -> int:
+        """Number of distinct base tuples stored (dup bit == 0)."""
+        return self.total_rows - self.duplicate_count
+
+    @property
+    def duplicate_count(self) -> int:
+        """Number of rows that are PREF/replication duplicates."""
+        return sum(partition.duplicate_count for partition in self.partitions)
+
+    @property
+    def byte_size(self) -> int:
+        """Nominal stored size in bytes, counting duplicates."""
+        return self.total_rows * self.schema.row_byte_width
+
+    @property
+    def max_partition_rows(self) -> int:
+        """Rows in the fullest partition (per-node storage/scan proxy)."""
+        return max(partition.row_count for partition in self.partitions)
+
+    # -- partition indexes ----------------------------------------------------
+
+    def partition_index(self, columns: Sequence[str]) -> PartitionIndex:
+        """Return (building and caching on demand) a partition index.
+
+        The index maps each distinct value of *columns* to every partition
+        that stores a row (including duplicate copies) with that value —
+        exactly the structure paper Section 2.3 uses for bulk loading.
+        """
+        key = tuple(columns)
+        index = self._indexes.get(key)
+        if index is None:
+            index = PartitionIndex(key)
+            positions = self.schema.positions(key)
+            extract = _key_extractor(positions)
+            for partition in self.partitions:
+                index.add_all(
+                    (extract(row) for row in partition.rows),
+                    partition.partition_id,
+                )
+            self._indexes[key] = index
+        return index
+
+    def invalidate_indexes(self) -> None:
+        """Drop cached partition indexes (after non-incremental mutation)."""
+        self._indexes.clear()
+
+    def key_partitions(self, columns: Sequence[str], key: Hashable) -> frozenset[int]:
+        """Partitions containing *key* under *columns* (via the index)."""
+        return self.partition_index(columns).partitions_of(key)
+
+    # -- iteration -------------------------------------------------------------
+
+    def all_rows(self) -> Iterator[Row]:
+        """Iterate over every stored row copy, partition by partition."""
+        for partition in self.partitions:
+            yield from partition.rows
+
+    def canonical_rows(self) -> Iterator[Row]:
+        """Iterate over one copy of every base tuple (dup bit == 0)."""
+        for partition in self.partitions:
+            yield from partition.canonical_rows()
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"PartitionedTable({self.name!r}, {self.scheme.kind.value}, "
+            f"{self.partition_count} partitions, {self.total_rows} rows)"
+        )
+
+
+class PartitionedDatabase:
+    """The partitioned database ``DP``: partitioned tables plus cluster size."""
+
+    def __init__(self, partition_count: int) -> None:
+        if partition_count < 1:
+            raise StorageError("partition_count must be >= 1")
+        self.partition_count = partition_count
+        self._tables: dict[str, PartitionedTable] = {}
+
+    def add_table(self, table: PartitionedTable) -> PartitionedTable:
+        """Register a partitioned table (partition counts must agree)."""
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already partitioned")
+        if table.partition_count != self.partition_count:
+            raise StorageError(
+                f"table {table.name!r} has {table.partition_count} partitions, "
+                f"database has {self.partition_count}"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name: str) -> PartitionedTable:
+        """Return the partitioned table called *name*."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownObjectError(f"no partitioned table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Return ``True`` if *name* has been partitioned into this database."""
+        return name in self._tables
+
+    @property
+    def tables(self) -> Mapping[str, PartitionedTable]:
+        """Read-only view of the partitioned tables by name."""
+        return dict(self._tables)
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        """All partitioned table names."""
+        return tuple(self._tables)
+
+    @property
+    def total_rows(self) -> int:
+        """Stored rows over all tables, counting duplicates (|DP|)."""
+        return sum(table.total_rows for table in self._tables.values())
+
+    @property
+    def canonical_rows(self) -> int:
+        """Distinct base tuples over all tables (should equal |D|)."""
+        return sum(table.canonical_row_count for table in self._tables.values())
+
+    def data_redundancy(self) -> float:
+        """DR = |DP| / |D| - 1 (paper Section 3.3), with |D| = canonical rows."""
+        base = self.canonical_rows
+        if base == 0:
+            return 0.0
+        return self.total_rows / base - 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return (
+            f"PartitionedDatabase({len(self._tables)} tables, "
+            f"{self.partition_count} partitions, {self.total_rows} rows)"
+        )
+
+
+def _key_extractor(positions: tuple[int, ...]):
+    """Row -> key function; scalars for single columns, tuples otherwise."""
+    if len(positions) == 1:
+        position = positions[0]
+        return lambda row: row[position]
+    return lambda row: tuple(row[position] for position in positions)

@@ -1,0 +1,1 @@
+"""Benchmark workloads: TPC-H (uniform) and TPC-DS (skewed)."""

@@ -1,0 +1,24 @@
+"""TPC-DS: 24-table schema, skewed data generator, 99 query join graphs."""
+
+from repro.workloads.tpcds.datagen import ZipfSampler, generate_tpcds, scaled_rows
+from repro.workloads.tpcds.queries import EDGES, QUERY_BLOCKS, QUERY_EDGES, tpcds_workload
+from repro.workloads.tpcds.schema import (
+    BASE_ROWS,
+    FACT_TABLES,
+    SMALL_TABLES,
+    tpcds_schema,
+)
+
+__all__ = [
+    "BASE_ROWS",
+    "EDGES",
+    "FACT_TABLES",
+    "QUERY_BLOCKS",
+    "QUERY_EDGES",
+    "SMALL_TABLES",
+    "ZipfSampler",
+    "generate_tpcds",
+    "scaled_rows",
+    "tpcds_schema",
+    "tpcds_workload",
+]

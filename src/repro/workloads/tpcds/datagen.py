@@ -1,0 +1,325 @@
+"""A dsdgen-like TPC-DS data generator with Zipf-skewed foreign keys.
+
+The paper chose TPC-DS as "a complex schema with skewed data"; here the
+skew is explicit: fact-table references to item, customer and the
+demographics dimensions follow a Zipf distribution, so join-key histograms
+are heavy-tailed (which is what makes the sampled redundancy estimates of
+Figure 13 noticeably worse on TPC-DS than on uniform TPC-H).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+from repro.storage.table import Database
+from repro.workloads.tpcds.schema import BASE_ROWS, tpcds_schema
+
+ZIPF_EXPONENT = 1.05
+
+
+class ZipfSampler:
+    """Draws 1..n with probability proportional to 1/rank^a (seeded)."""
+
+    def __init__(self, n: int, rng: random.Random, a: float = ZIPF_EXPONENT) -> None:
+        weights = [1.0 / (rank**a) for rank in range(1, n + 1)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        self._rng = rng
+        # Shuffle the rank->key mapping so popular keys are spread out.
+        self._keys = list(range(1, n + 1))
+        rng.shuffle(self._keys)
+
+    def sample(self) -> int:
+        point = self._rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, point)
+        return self._keys[min(rank, len(self._keys) - 1)]
+
+
+def scaled_rows(scale_factor: float) -> dict[str, int]:
+    """Row counts for *scale_factor* (all tables scale, preserving ratios)."""
+    return {
+        table: max(3, int(base * scale_factor)) for table, base in BASE_ROWS.items()
+    }
+
+
+def generate_tpcds(scale_factor: float = 0.001, seed: int = 0) -> Database:
+    """Generate a skewed TPC-DS database (deterministic per seed)."""
+    rng = random.Random(seed)
+    counts = scaled_rows(scale_factor)
+    database = Database(tpcds_schema())
+
+    # -- dimensions ------------------------------------------------------------
+    def load_dim(name: str, attrs: int) -> int:
+        count = counts[name]
+        rows = [
+            (key,) + tuple(f"{name[:4]}_{key}_{i}" for i in range(attrs))
+            for key in range(1, count + 1)
+        ]
+        database.load(name, rows)
+        return count
+
+    n_date = load_dim("date_dim", 3)
+    n_time = load_dim("time_dim", 2)
+    n_item = load_dim("item", 3)
+    n_store = load_dim("store", 2)
+    load_dim("call_center", 1)
+    load_dim("catalog_page", 1)
+    load_dim("web_site", 1)
+    load_dim("web_page", 1)
+    n_warehouse = load_dim("warehouse", 2)
+    load_dim("promotion", 1)
+    load_dim("reason", 1)
+    load_dim("ship_mode", 1)
+    n_income = load_dim("income_band", 1)
+    n_addr = load_dim("customer_address", 2)
+    n_cdemo = load_dim("customer_demographics", 3)
+
+    n_hdemo = counts["household_demographics"]
+    database.load(
+        "household_demographics",
+        [
+            (
+                key,
+                1 + rng.randrange(n_income),
+                rng.choice(("1001-5000", "501-1000", ">10000", "Unknown")),
+                rng.randrange(10),
+            )
+            for key in range(1, n_hdemo + 1)
+        ],
+    )
+
+    n_customer = counts["customer"]
+    database.load(
+        "customer",
+        [
+            (
+                key,
+                1 + rng.randrange(n_cdemo),
+                1 + rng.randrange(n_hdemo),
+                1 + rng.randrange(n_addr),
+                f"Customer_{key}",
+            )
+            for key in range(1, n_customer + 1)
+        ],
+    )
+
+    # -- skew samplers ------------------------------------------------------------
+    item_zipf = ZipfSampler(n_item, rng)
+    customer_zipf = ZipfSampler(n_customer, rng)
+    cdemo_zipf = ZipfSampler(n_cdemo, rng)
+    hdemo_zipf = ZipfSampler(n_hdemo, rng)
+    addr_zipf = ZipfSampler(n_addr, rng)
+
+    sizes = {
+        name: counts[name]
+        for name in (
+            "call_center",
+            "catalog_page",
+            "web_site",
+            "web_page",
+            "promotion",
+            "reason",
+            "ship_mode",
+        )
+    }
+
+    def udim(name: str) -> int:
+        return 1 + rng.randrange(sizes[name])
+
+    # -- store channel ---------------------------------------------------------------
+    store_sales = []
+    ss_keys = []
+    ticket = 0
+    remaining = counts["store_sales"]
+    while remaining > 0:
+        ticket += 1
+        lines = min(remaining, 1 + rng.randrange(12))
+        items = rng.sample(range(1, n_item + 1), min(lines, n_item))
+        for _line in range(lines):
+            item = item_zipf.sample()
+            store_sales.append(
+                (
+                    1 + rng.randrange(n_date),
+                    1 + rng.randrange(n_time),
+                    item,
+                    customer_zipf.sample(),
+                    cdemo_zipf.sample(),
+                    hdemo_zipf.sample(),
+                    addr_zipf.sample(),
+                    1 + rng.randrange(n_store),
+                    udim("promotion"),
+                    ticket,
+                    1 + rng.randrange(100),
+                    round(rng.uniform(1.0, 300.0), 2),
+                )
+            )
+        remaining -= lines
+    # Deduplicate (ticket, item) collisions to respect the primary key.
+    seen_ss = set()
+    unique_ss = []
+    for row in store_sales:
+        key = (row[9], row[2])
+        if key not in seen_ss:
+            seen_ss.add(key)
+            unique_ss.append(row)
+            ss_keys.append(key)
+    database.load("store_sales", unique_ss)
+
+    returns = []
+    seen_sr = set()
+    for _ in range(counts["store_returns"]):
+        ticket_number, item = rng.choice(ss_keys)
+        if (ticket_number, item) in seen_sr:
+            continue
+        seen_sr.add((ticket_number, item))
+        returns.append(
+            (
+                1 + rng.randrange(n_date),
+                item,
+                customer_zipf.sample(),
+                cdemo_zipf.sample(),
+                1 + rng.randrange(n_store),
+                udim("reason"),
+                ticket_number,
+                round(rng.uniform(1.0, 300.0), 2),
+            )
+        )
+    database.load("store_returns", returns)
+
+    # -- catalog channel -------------------------------------------------------------
+    catalog_sales = []
+    cs_keys = []
+    seen_cs = set()
+    order = 0
+    remaining = counts["catalog_sales"]
+    while remaining > 0:
+        order += 1
+        lines = min(remaining, 1 + rng.randrange(10))
+        for _line in range(lines):
+            item = item_zipf.sample()
+            if (order, item) in seen_cs:
+                continue
+            seen_cs.add((order, item))
+            catalog_sales.append(
+                (
+                    1 + rng.randrange(n_date),
+                    1 + rng.randrange(n_time),
+                    item,
+                    customer_zipf.sample(),
+                    cdemo_zipf.sample(),
+                    hdemo_zipf.sample(),
+                    addr_zipf.sample(),
+                    udim("call_center"),
+                    udim("catalog_page"),
+                    udim("ship_mode"),
+                    1 + rng.randrange(n_warehouse),
+                    udim("promotion"),
+                    order,
+                    1 + rng.randrange(100),
+                    round(rng.uniform(1.0, 300.0), 2),
+                )
+            )
+            cs_keys.append((order, item))
+        remaining -= lines
+    database.load("catalog_sales", catalog_sales)
+
+    seen_cr = set()
+    catalog_returns = []
+    for _ in range(counts["catalog_returns"]):
+        order_number, item = rng.choice(cs_keys)
+        if (order_number, item) in seen_cr:
+            continue
+        seen_cr.add((order_number, item))
+        catalog_returns.append(
+            (
+                1 + rng.randrange(n_date),
+                item,
+                customer_zipf.sample(),
+                udim("call_center"),
+                udim("reason"),
+                order_number,
+                round(rng.uniform(1.0, 300.0), 2),
+            )
+        )
+    database.load("catalog_returns", catalog_returns)
+
+    # -- web channel ------------------------------------------------------------------
+    web_sales = []
+    ws_keys = []
+    seen_ws = set()
+    order = 0
+    remaining = counts["web_sales"]
+    while remaining > 0:
+        order += 1
+        lines = min(remaining, 1 + rng.randrange(8))
+        for _line in range(lines):
+            item = item_zipf.sample()
+            if (order, item) in seen_ws:
+                continue
+            seen_ws.add((order, item))
+            web_sales.append(
+                (
+                    1 + rng.randrange(n_date),
+                    1 + rng.randrange(n_time),
+                    item,
+                    customer_zipf.sample(),
+                    addr_zipf.sample(),
+                    hdemo_zipf.sample(),
+                    udim("web_site"),
+                    udim("web_page"),
+                    udim("ship_mode"),
+                    1 + rng.randrange(n_warehouse),
+                    udim("promotion"),
+                    order,
+                    1 + rng.randrange(100),
+                    round(rng.uniform(1.0, 300.0), 2),
+                )
+            )
+            ws_keys.append((order, item))
+        remaining -= lines
+    database.load("web_sales", web_sales)
+
+    seen_wr = set()
+    web_returns = []
+    for _ in range(counts["web_returns"]):
+        order_number, item = rng.choice(ws_keys)
+        if (order_number, item) in seen_wr:
+            continue
+        seen_wr.add((order_number, item))
+        web_returns.append(
+            (
+                1 + rng.randrange(n_date),
+                item,
+                customer_zipf.sample(),
+                cdemo_zipf.sample(),
+                addr_zipf.sample(),
+                udim("reason"),
+                udim("web_page"),
+                order_number,
+                round(rng.uniform(1.0, 300.0), 2),
+            )
+        )
+    database.load("web_returns", web_returns)
+
+    # -- inventory -------------------------------------------------------------------
+    # The (date, item, warehouse) key space shrinks cubically at small
+    # scale factors; cap the target so generation terminates and the key
+    # constraint stays satisfiable.
+    key_space = n_date * n_item * n_warehouse
+    inventory_target = min(counts["inventory"], int(0.6 * key_space))
+    seen_inv = set()
+    inventory = []
+    for _ in range(inventory_target):
+        key = (
+            1 + rng.randrange(n_date),
+            item_zipf.sample(),
+            1 + rng.randrange(n_warehouse),
+        )
+        if key in seen_inv:
+            continue
+        seen_inv.add(key)
+        inventory.append(key + (rng.randrange(1000),))
+    database.load("inventory", inventory)
+    return database

@@ -1,0 +1,224 @@
+"""Join graphs of the 99 TPC-DS queries.
+
+Each query is described by the set of equi-join edges its SPJA blocks use —
+exactly the input the workload-driven design algorithm consumes (paper
+Section 4).  The edge sets follow the table usage of the official TPC-DS
+query set; correlated sub-queries are flattened into their join edges, and
+pure single-table queries contribute no edges (they do not constrain the
+partitioning design).
+"""
+
+from __future__ import annotations
+
+from repro.design.workload import QuerySpec
+from repro.partitioning.predicate import JoinPredicate
+
+#: Shorthand -> join predicate between two TPC-DS tables.
+EDGES: dict[str, JoinPredicate] = {
+    # store_sales
+    "ss_d": JoinPredicate.equi("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+    "ss_t": JoinPredicate.equi("store_sales", "ss_sold_time_sk", "time_dim", "t_time_sk"),
+    "ss_i": JoinPredicate.equi("store_sales", "ss_item_sk", "item", "i_item_sk"),
+    "ss_c": JoinPredicate.equi("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+    "ss_cd": JoinPredicate.equi("store_sales", "ss_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    "ss_hd": JoinPredicate.equi("store_sales", "ss_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    "ss_ca": JoinPredicate.equi("store_sales", "ss_addr_sk", "customer_address", "ca_address_sk"),
+    "ss_s": JoinPredicate.equi("store_sales", "ss_store_sk", "store", "s_store_sk"),
+    "ss_p": JoinPredicate.equi("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+    # store_returns
+    "sr_d": JoinPredicate.equi("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk"),
+    "sr_i": JoinPredicate.equi("store_returns", "sr_item_sk", "item", "i_item_sk"),
+    "sr_c": JoinPredicate.equi("store_returns", "sr_customer_sk", "customer", "c_customer_sk"),
+    "sr_cd": JoinPredicate.equi("store_returns", "sr_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    "sr_s": JoinPredicate.equi("store_returns", "sr_store_sk", "store", "s_store_sk"),
+    "sr_r": JoinPredicate.equi("store_returns", "sr_reason_sk", "reason", "r_reason_sk"),
+    "sr_ss": JoinPredicate(
+        "store_returns", ("sr_ticket_number", "sr_item_sk"),
+        "store_sales", ("ss_ticket_number", "ss_item_sk"),
+    ),
+    # catalog_sales
+    "cs_d": JoinPredicate.equi("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk"),
+    "cs_t": JoinPredicate.equi("catalog_sales", "cs_sold_time_sk", "time_dim", "t_time_sk"),
+    "cs_i": JoinPredicate.equi("catalog_sales", "cs_item_sk", "item", "i_item_sk"),
+    "cs_c": JoinPredicate.equi("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk"),
+    "cs_cd": JoinPredicate.equi("catalog_sales", "cs_bill_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    "cs_hd": JoinPredicate.equi("catalog_sales", "cs_bill_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    "cs_ca": JoinPredicate.equi("catalog_sales", "cs_bill_addr_sk", "customer_address", "ca_address_sk"),
+    "cs_cc": JoinPredicate.equi("catalog_sales", "cs_call_center_sk", "call_center", "cc_call_center_sk"),
+    "cs_cp": JoinPredicate.equi("catalog_sales", "cs_catalog_page_sk", "catalog_page", "cp_catalog_page_sk"),
+    "cs_sm": JoinPredicate.equi("catalog_sales", "cs_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+    "cs_w": JoinPredicate.equi("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    "cs_p": JoinPredicate.equi("catalog_sales", "cs_promo_sk", "promotion", "p_promo_sk"),
+    # catalog_returns
+    "cr_d": JoinPredicate.equi("catalog_returns", "cr_returned_date_sk", "date_dim", "d_date_sk"),
+    "cr_i": JoinPredicate.equi("catalog_returns", "cr_item_sk", "item", "i_item_sk"),
+    "cr_c": JoinPredicate.equi("catalog_returns", "cr_returning_customer_sk", "customer", "c_customer_sk"),
+    "cr_cc": JoinPredicate.equi("catalog_returns", "cr_call_center_sk", "call_center", "cc_call_center_sk"),
+    "cr_r": JoinPredicate.equi("catalog_returns", "cr_reason_sk", "reason", "r_reason_sk"),
+    "cr_cs": JoinPredicate(
+        "catalog_returns", ("cr_order_number", "cr_item_sk"),
+        "catalog_sales", ("cs_order_number", "cs_item_sk"),
+    ),
+    # web_sales
+    "ws_d": JoinPredicate.equi("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk"),
+    "ws_t": JoinPredicate.equi("web_sales", "ws_sold_time_sk", "time_dim", "t_time_sk"),
+    "ws_i": JoinPredicate.equi("web_sales", "ws_item_sk", "item", "i_item_sk"),
+    "ws_c": JoinPredicate.equi("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk"),
+    "ws_ca": JoinPredicate.equi("web_sales", "ws_bill_addr_sk", "customer_address", "ca_address_sk"),
+    "ws_hd": JoinPredicate.equi("web_sales", "ws_ship_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    "ws_web": JoinPredicate.equi("web_sales", "ws_web_site_sk", "web_site", "web_site_sk"),
+    "ws_wp": JoinPredicate.equi("web_sales", "ws_web_page_sk", "web_page", "wp_web_page_sk"),
+    "ws_sm": JoinPredicate.equi("web_sales", "ws_ship_mode_sk", "ship_mode", "sm_ship_mode_sk"),
+    "ws_w": JoinPredicate.equi("web_sales", "ws_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    "ws_p": JoinPredicate.equi("web_sales", "ws_promo_sk", "promotion", "p_promo_sk"),
+    # web_returns
+    "wr_d": JoinPredicate.equi("web_returns", "wr_returned_date_sk", "date_dim", "d_date_sk"),
+    "wr_i": JoinPredicate.equi("web_returns", "wr_item_sk", "item", "i_item_sk"),
+    "wr_c": JoinPredicate.equi("web_returns", "wr_returning_customer_sk", "customer", "c_customer_sk"),
+    "wr_cd": JoinPredicate.equi("web_returns", "wr_refunded_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    "wr_ca": JoinPredicate.equi("web_returns", "wr_refunded_addr_sk", "customer_address", "ca_address_sk"),
+    "wr_r": JoinPredicate.equi("web_returns", "wr_reason_sk", "reason", "r_reason_sk"),
+    "wr_wp": JoinPredicate.equi("web_returns", "wr_web_page_sk", "web_page", "wp_web_page_sk"),
+    "wr_ws": JoinPredicate(
+        "web_returns", ("wr_order_number", "wr_item_sk"),
+        "web_sales", ("ws_order_number", "ws_item_sk"),
+    ),
+    # inventory
+    "inv_d": JoinPredicate.equi("inventory", "inv_date_sk", "date_dim", "d_date_sk"),
+    "inv_i": JoinPredicate.equi("inventory", "inv_item_sk", "item", "i_item_sk"),
+    "inv_w": JoinPredicate.equi("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk"),
+    # customer snowflake
+    "c_cd": JoinPredicate.equi("customer", "c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"),
+    "c_hd": JoinPredicate.equi("customer", "c_current_hdemo_sk", "household_demographics", "hd_demo_sk"),
+    "c_ca": JoinPredicate.equi("customer", "c_current_addr_sk", "customer_address", "ca_address_sk"),
+    "hd_ib": JoinPredicate.equi("household_demographics", "hd_income_band_sk", "income_band", "ib_income_band_sk"),
+}
+
+#: Query number -> SPJA blocks, each a tuple of edge shorthands.
+QUERY_BLOCKS: dict[int, tuple[tuple[str, ...], ...]] = {
+    1: (('sr_d', 'sr_s', 'sr_c'),),
+    2: (('ws_d',), ('cs_d',)),
+    3: (('ss_d', 'ss_i'),),
+    4: (('ss_d', 'ss_c'), ('cs_d', 'cs_c'), ('ws_d', 'ws_c')),
+    5: (('ss_d', 'ss_s', 'sr_d', 'sr_s'), ('cs_d', 'cs_cp', 'cr_d'), ('ws_d', 'ws_web', 'wr_d')),
+    6: (('ss_d', 'ss_i', 'ss_c', 'c_ca'),),
+    7: (('ss_d', 'ss_i', 'ss_cd', 'ss_p'),),
+    8: (('ss_d', 'ss_s', 'ss_c', 'c_ca'),),
+    9: (),
+    10: (('c_cd', 'c_ca'), ('ss_d', 'ss_c'), ('ws_d', 'ws_c'), ('cs_d', 'cs_c')),
+    11: (('ss_d', 'ss_c'), ('ws_d', 'ws_c')),
+    12: (('ws_d', 'ws_i'),),
+    13: (('ss_d', 'ss_s', 'ss_cd', 'ss_hd', 'ss_ca'),),
+    14: (('ss_d', 'ss_i'), ('cs_d', 'cs_i'), ('ws_d', 'ws_i')),
+    15: (('cs_d', 'cs_c', 'c_ca'),),
+    16: (('cs_d', 'cs_cc', 'cs_sm', 'cs_w', 'cr_cs'),),
+    17: (('ss_d', 'ss_i', 'ss_s', 'sr_ss', 'sr_d', 'cs_d', 'cs_i'),),
+    18: (('cs_d', 'cs_i', 'cs_cd', 'cs_c', 'c_ca'),),
+    19: (('ss_d', 'ss_i', 'ss_c', 'ss_s', 'c_ca'),),
+    20: (('cs_d', 'cs_i'),),
+    21: (('inv_d', 'inv_i', 'inv_w'),),
+    22: (('inv_d', 'inv_i', 'inv_w'),),
+    23: (('ss_d', 'ss_i', 'ss_c'), ('cs_d', 'cs_c')),
+    24: (('ss_i', 'ss_s', 'ss_c', 'sr_ss', 'c_ca'),),
+    25: (('ss_d', 'ss_i', 'ss_s', 'sr_ss', 'sr_d', 'cs_d'),),
+    26: (('cs_d', 'cs_i', 'cs_cd', 'cs_p'),),
+    27: (('ss_d', 'ss_i', 'ss_cd', 'ss_s'),),
+    28: (),
+    29: (('ss_d', 'ss_i', 'ss_s', 'sr_ss', 'sr_d', 'cs_d'),),
+    30: (('wr_d', 'wr_c', 'c_ca'),),
+    31: (('ss_d', 'ss_ca'), ('ws_d', 'ws_ca')),
+    32: (('cs_d', 'cs_i'),),
+    33: (('ss_d', 'ss_i', 'ss_ca'), ('cs_d', 'cs_i', 'cs_ca'), ('ws_d', 'ws_i', 'ws_ca')),
+    34: (('ss_d', 'ss_s', 'ss_hd', 'ss_c'),),
+    35: (('c_ca', 'c_cd'), ('ss_d', 'ss_c'), ('ws_d', 'ws_c'), ('cs_d', 'cs_c')),
+    36: (('ss_d', 'ss_i', 'ss_s'),),
+    37: (('inv_d', 'inv_i', 'cs_i'),),
+    38: (('ss_d', 'ss_c'), ('cs_d', 'cs_c'), ('ws_d', 'ws_c')),
+    39: (('inv_d', 'inv_i', 'inv_w'),),
+    40: (('cs_d', 'cs_i', 'cs_w', 'cr_cs'),),
+    41: (),
+    42: (('ss_d', 'ss_i'),),
+    43: (('ss_d', 'ss_s'),),
+    44: (('ss_i',),),
+    45: (('ws_d', 'ws_i', 'ws_c', 'c_ca'),),
+    46: (('ss_d', 'ss_s', 'ss_hd', 'ss_ca', 'ss_c', 'c_ca'),),
+    47: (('ss_d', 'ss_i', 'ss_s'),),
+    48: (('ss_d', 'ss_s', 'ss_cd', 'ss_ca'),),
+    49: (('ws_d', 'wr_ws'), ('cs_d', 'cr_cs'), ('ss_d', 'sr_ss')),
+    50: (('ss_d', 'ss_s', 'sr_ss', 'sr_d'),),
+    51: (('ws_d', 'ws_i'), ('ss_d', 'ss_i')),
+    52: (('ss_d', 'ss_i'),),
+    53: (('ss_d', 'ss_i', 'ss_s'),),
+    54: (('cs_d', 'cs_i', 'cs_c'), ('c_ca',), ('ss_d', 'ss_c')),
+    55: (('ss_d', 'ss_i'),),
+    56: (('ss_d', 'ss_i', 'ss_ca'), ('cs_d', 'cs_i', 'cs_ca'), ('ws_d', 'ws_i', 'ws_ca')),
+    57: (('cs_d', 'cs_i', 'cs_cc'),),
+    58: (('ss_d', 'ss_i'), ('cs_d', 'cs_i'), ('ws_d', 'ws_i')),
+    59: (('ss_d', 'ss_s'),),
+    60: (('ss_d', 'ss_i', 'ss_ca'), ('cs_d', 'cs_i', 'cs_ca'), ('ws_d', 'ws_i', 'ws_ca')),
+    61: (('ss_d', 'ss_i', 'ss_c', 'ss_s', 'ss_p', 'c_ca'),),
+    62: (('ws_d', 'ws_sm', 'ws_web', 'ws_w'),),
+    63: (('ss_d', 'ss_i', 'ss_s'),),
+    64: (('ss_d', 'ss_i', 'ss_s', 'ss_c', 'ss_p', 'sr_ss', 'c_cd', 'c_hd', 'c_ca', 'hd_ib', 'cs_i'),),
+    65: (('ss_d', 'ss_i', 'ss_s'),),
+    66: (('ws_d', 'ws_t', 'ws_sm', 'ws_w'), ('cs_d', 'cs_t', 'cs_sm', 'cs_w')),
+    67: (('ss_d', 'ss_i', 'ss_s'),),
+    68: (('ss_d', 'ss_s', 'ss_hd', 'ss_ca', 'ss_c', 'c_ca'),),
+    69: (('c_cd', 'c_ca'), ('ss_d', 'ss_c'), ('ws_d', 'ws_c'), ('cs_d', 'cs_c')),
+    70: (('ss_d', 'ss_s'),),
+    71: (('ss_d', 'ss_i', 'ss_t'), ('ws_d', 'ws_i', 'ws_t'), ('cs_d', 'cs_i', 'cs_t')),
+    72: (('cs_d', 'cs_i', 'cs_cd', 'cs_hd', 'cs_p', 'inv_i', 'inv_d', 'inv_w'),),
+    73: (('ss_d', 'ss_s', 'ss_hd', 'ss_c'),),
+    74: (('ss_d', 'ss_c'), ('ws_d', 'ws_c')),
+    75: (('cs_d', 'cs_i', 'cr_cs'), ('ss_d', 'ss_i', 'sr_ss'), ('ws_d', 'ws_i', 'wr_ws')),
+    76: (('ss_d', 'ss_i'), ('ws_d', 'ws_i'), ('cs_d', 'cs_i')),
+    77: (('ss_d', 'ss_s', 'sr_d', 'sr_s'), ('cs_d', 'cs_cc', 'cr_d', 'cr_cc'), ('ws_d', 'ws_wp', 'wr_d', 'wr_wp')),
+    78: (('ws_d', 'ws_i', 'ws_c', 'wr_ws'), ('ss_d', 'ss_i', 'ss_c', 'sr_ss'), ('cs_d', 'cs_i', 'cs_c', 'cr_cs')),
+    79: (('ss_d', 'ss_s', 'ss_hd', 'ss_c'),),
+    80: (('ss_d', 'ss_i', 'ss_s', 'ss_p', 'sr_ss'), ('cs_d', 'cs_i', 'cs_cp', 'cs_p', 'cr_cs'), ('ws_d', 'ws_i', 'ws_web', 'ws_p', 'wr_ws')),
+    81: (('cr_d', 'cr_c', 'c_ca'),),
+    82: (('inv_d', 'inv_i', 'ss_i'),),
+    83: (('sr_d', 'sr_i'), ('cr_d', 'cr_i'), ('wr_d', 'wr_i')),
+    84: (('c_ca', 'c_cd', 'c_hd', 'hd_ib', 'sr_cd'),),
+    85: (('ws_d', 'ws_wp', 'wr_ws', 'wr_r', 'wr_cd', 'wr_ca'),),
+    86: (('ws_d', 'ws_i'),),
+    87: (('ss_d', 'ss_c'), ('cs_d', 'cs_c'), ('ws_d', 'ws_c')),
+    88: (('ss_t', 'ss_hd', 'ss_s'),),
+    89: (('ss_d', 'ss_i', 'ss_s'),),
+    90: (('ws_t', 'ws_hd', 'ws_wp'),),
+    91: (('cr_d', 'cr_cc', 'cr_c', 'c_cd', 'c_hd', 'c_ca'),),
+    92: (('ws_d', 'ws_i'),),
+    93: (('sr_ss', 'sr_r'),),
+    94: (('ws_d', 'ws_ca', 'ws_web', 'wr_ws'),),
+    95: (('ws_d', 'ws_ca', 'ws_web', 'wr_ws'),),
+    96: (('ss_t', 'ss_hd', 'ss_s'),),
+    97: (('ss_d', 'ss_c'), ('cs_d', 'cs_c')),
+    98: (('ss_d', 'ss_i'),),
+    99: (('cs_d', 'cs_w', 'cs_sm', 'cs_cc'),),
+}
+
+
+#: Flat edge view (all blocks of a query combined), kept for convenience.
+QUERY_EDGES: dict[int, tuple[str, ...]] = {
+    number: tuple(dict.fromkeys(e for block in blocks for e in block))
+    for number, blocks in QUERY_BLOCKS.items()
+}
+
+
+def tpcds_workload() -> list[QuerySpec]:
+    """The 99 TPC-DS queries as workload specs for the WD algorithm.
+
+    Queries that union several per-channel SPJA blocks contribute one spec
+    per block (the paper separates SPJA sub-queries before counting its
+    165 connected components).
+    """
+    specs = []
+    for number, blocks in QUERY_BLOCKS.items():
+        if len(blocks) <= 1:
+            predicates = [EDGES[name] for block in blocks for name in block]
+            specs.append(QuerySpec.make(f"q{number}", predicates))
+            continue
+        for index, block in enumerate(blocks, start=1):
+            predicates = [EDGES[name] for name in block]
+            specs.append(QuerySpec.make(f"q{number}_b{index}", predicates))
+    return specs

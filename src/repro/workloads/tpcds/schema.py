@@ -1,0 +1,319 @@
+"""The TPC-DS schema: 24 tables (7 facts, 17 dimensions) with FKs.
+
+Columns are reduced to surrogate keys plus a few measures — the design
+algorithms consume the schema graph, table sizes and join-key histograms,
+none of which need the full 400+ column catalog.  The referential
+constraints below are the principal TPC-DS relationships, including the
+composite returns->sales foreign keys.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import DataType
+from repro.catalog.schema import DatabaseSchema
+
+#: Row counts at the paper's scale factor 10 (per the TPC-DS
+#: specification; several dimensions — date_dim, time_dim, the
+#: demographics tables — are fixed-size regardless of scale, which is why
+#: the ratios here differ from SF 1).  ``scaled_rows`` scales these down
+#: uniformly so a small in-memory database preserves the SF 10 shape.
+BASE_ROWS = {
+    "call_center": 24,
+    "catalog_page": 12_000,
+    "customer": 650_000,
+    "customer_address": 325_000,
+    "customer_demographics": 1_920_800,
+    "date_dim": 73_049,
+    "household_demographics": 7_200,
+    "income_band": 20,
+    "item": 102_000,
+    "promotion": 500,
+    "reason": 45,
+    "ship_mode": 20,
+    "store": 102,
+    "time_dim": 86_400,
+    "warehouse": 10,
+    "web_page": 200,
+    "web_site": 42,
+    "inventory": 133_110_000,
+    "store_sales": 28_800_000,
+    "store_returns": 2_880_000,
+    "catalog_sales": 14_400_000,
+    "catalog_returns": 1_440_000,
+    "web_sales": 7_200_000,
+    "web_returns": 720_000,
+}
+
+#: The seven fact tables (used by the "individual stars" baselines).
+FACT_TABLES = (
+    "store_sales",
+    "store_returns",
+    "catalog_sales",
+    "catalog_returns",
+    "web_sales",
+    "web_returns",
+    "inventory",
+)
+
+#: Tables the paper excludes and replicates (fewer than 1000 rows each).
+SMALL_TABLES = ("call_center", "income_band", "reason", "ship_mode", "store",
+                "warehouse", "web_page", "web_site", "promotion")
+
+I = DataType.INTEGER
+F = DataType.FLOAT
+V = DataType.VARCHAR
+
+
+def _dim(schema: DatabaseSchema, name: str, key: str, attrs: list[str]) -> None:
+    columns = [(key, I)] + [(attr, V) for attr in attrs]
+    schema.create_table(name, columns, primary_key=[key])
+
+
+def tpcds_schema() -> DatabaseSchema:
+    """Build the 24-table TPC-DS schema with referential constraints."""
+    schema = DatabaseSchema()
+
+    # -- dimensions ---------------------------------------------------------
+    _dim(schema, "date_dim", "d_date_sk", ["d_year", "d_moy", "d_day_name"])
+    _dim(schema, "time_dim", "t_time_sk", ["t_hour", "t_shift"])
+    _dim(schema, "item", "i_item_sk", ["i_brand", "i_category", "i_class"])
+    _dim(schema, "store", "s_store_sk", ["s_store_name", "s_state"])
+    _dim(schema, "call_center", "cc_call_center_sk", ["cc_name"])
+    _dim(schema, "catalog_page", "cp_catalog_page_sk", ["cp_type"])
+    _dim(schema, "web_site", "web_site_sk", ["web_name"])
+    _dim(schema, "web_page", "wp_web_page_sk", ["wp_type"])
+    _dim(schema, "warehouse", "w_warehouse_sk", ["w_name", "w_state"])
+    _dim(schema, "promotion", "p_promo_sk", ["p_channel"])
+    _dim(schema, "reason", "r_reason_sk", ["r_desc"])
+    _dim(schema, "ship_mode", "sm_ship_mode_sk", ["sm_type"])
+    _dim(schema, "income_band", "ib_income_band_sk", ["ib_bracket"])
+    _dim(schema, "customer_address", "ca_address_sk", ["ca_state", "ca_city"])
+    _dim(
+        schema,
+        "customer_demographics",
+        "cd_demo_sk",
+        ["cd_gender", "cd_marital_status", "cd_education_status"],
+    )
+    schema.create_table(
+        "household_demographics",
+        [
+            ("hd_demo_sk", I),
+            ("hd_income_band_sk", I),
+            ("hd_buy_potential", V),
+            ("hd_dep_count", I),
+        ],
+        primary_key=["hd_demo_sk"],
+    )
+    schema.create_table(
+        "customer",
+        [
+            ("c_customer_sk", I),
+            ("c_current_cdemo_sk", I),
+            ("c_current_hdemo_sk", I),
+            ("c_current_addr_sk", I),
+            ("c_name", V),
+        ],
+        primary_key=["c_customer_sk"],
+    )
+
+    # -- fact tables --------------------------------------------------------------
+    schema.create_table(
+        "store_sales",
+        [
+            ("ss_sold_date_sk", I),
+            ("ss_sold_time_sk", I),
+            ("ss_item_sk", I),
+            ("ss_customer_sk", I),
+            ("ss_cdemo_sk", I),
+            ("ss_hdemo_sk", I),
+            ("ss_addr_sk", I),
+            ("ss_store_sk", I),
+            ("ss_promo_sk", I),
+            ("ss_ticket_number", I),
+            ("ss_quantity", I),
+            ("ss_net_paid", F),
+        ],
+        primary_key=["ss_ticket_number", "ss_item_sk"],
+    )
+    schema.create_table(
+        "store_returns",
+        [
+            ("sr_returned_date_sk", I),
+            ("sr_item_sk", I),
+            ("sr_customer_sk", I),
+            ("sr_cdemo_sk", I),
+            ("sr_store_sk", I),
+            ("sr_reason_sk", I),
+            ("sr_ticket_number", I),
+            ("sr_return_amt", F),
+        ],
+        primary_key=["sr_ticket_number", "sr_item_sk"],
+    )
+    schema.create_table(
+        "catalog_sales",
+        [
+            ("cs_sold_date_sk", I),
+            ("cs_sold_time_sk", I),
+            ("cs_item_sk", I),
+            ("cs_bill_customer_sk", I),
+            ("cs_bill_cdemo_sk", I),
+            ("cs_bill_hdemo_sk", I),
+            ("cs_bill_addr_sk", I),
+            ("cs_call_center_sk", I),
+            ("cs_catalog_page_sk", I),
+            ("cs_ship_mode_sk", I),
+            ("cs_warehouse_sk", I),
+            ("cs_promo_sk", I),
+            ("cs_order_number", I),
+            ("cs_quantity", I),
+            ("cs_net_paid", F),
+        ],
+        primary_key=["cs_order_number", "cs_item_sk"],
+    )
+    schema.create_table(
+        "catalog_returns",
+        [
+            ("cr_returned_date_sk", I),
+            ("cr_item_sk", I),
+            ("cr_returning_customer_sk", I),
+            ("cr_call_center_sk", I),
+            ("cr_reason_sk", I),
+            ("cr_order_number", I),
+            ("cr_return_amount", F),
+        ],
+        primary_key=["cr_order_number", "cr_item_sk"],
+    )
+    schema.create_table(
+        "web_sales",
+        [
+            ("ws_sold_date_sk", I),
+            ("ws_sold_time_sk", I),
+            ("ws_item_sk", I),
+            ("ws_bill_customer_sk", I),
+            ("ws_bill_addr_sk", I),
+            ("ws_ship_hdemo_sk", I),
+            ("ws_web_site_sk", I),
+            ("ws_web_page_sk", I),
+            ("ws_ship_mode_sk", I),
+            ("ws_warehouse_sk", I),
+            ("ws_promo_sk", I),
+            ("ws_order_number", I),
+            ("ws_quantity", I),
+            ("ws_net_paid", F),
+        ],
+        primary_key=["ws_order_number", "ws_item_sk"],
+    )
+    schema.create_table(
+        "web_returns",
+        [
+            ("wr_returned_date_sk", I),
+            ("wr_item_sk", I),
+            ("wr_returning_customer_sk", I),
+            ("wr_refunded_cdemo_sk", I),
+            ("wr_refunded_addr_sk", I),
+            ("wr_reason_sk", I),
+            ("wr_web_page_sk", I),
+            ("wr_order_number", I),
+            ("wr_return_amt", F),
+        ],
+        primary_key=["wr_order_number", "wr_item_sk"],
+    )
+    schema.create_table(
+        "inventory",
+        [
+            ("inv_date_sk", I),
+            ("inv_item_sk", I),
+            ("inv_warehouse_sk", I),
+            ("inv_quantity_on_hand", I),
+        ],
+        primary_key=["inv_date_sk", "inv_item_sk", "inv_warehouse_sk"],
+    )
+
+    # -- foreign keys -----------------------------------------------------------
+    fk = schema.add_foreign_key
+    fk("fk_c_cd", "customer", ["c_current_cdemo_sk"], "customer_demographics", ["cd_demo_sk"])
+    fk("fk_c_hd", "customer", ["c_current_hdemo_sk"], "household_demographics", ["hd_demo_sk"])
+    fk("fk_c_ca", "customer", ["c_current_addr_sk"], "customer_address", ["ca_address_sk"])
+    fk("fk_hd_ib", "household_demographics", ["hd_income_band_sk"], "income_band", ["ib_income_band_sk"])
+
+    fk("fk_ss_d", "store_sales", ["ss_sold_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_ss_t", "store_sales", ["ss_sold_time_sk"], "time_dim", ["t_time_sk"])
+    fk("fk_ss_i", "store_sales", ["ss_item_sk"], "item", ["i_item_sk"])
+    fk("fk_ss_c", "store_sales", ["ss_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_ss_cd", "store_sales", ["ss_cdemo_sk"], "customer_demographics", ["cd_demo_sk"])
+    fk("fk_ss_hd", "store_sales", ["ss_hdemo_sk"], "household_demographics", ["hd_demo_sk"])
+    fk("fk_ss_ca", "store_sales", ["ss_addr_sk"], "customer_address", ["ca_address_sk"])
+    fk("fk_ss_s", "store_sales", ["ss_store_sk"], "store", ["s_store_sk"])
+    fk("fk_ss_p", "store_sales", ["ss_promo_sk"], "promotion", ["p_promo_sk"])
+
+    fk("fk_sr_d", "store_returns", ["sr_returned_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_sr_i", "store_returns", ["sr_item_sk"], "item", ["i_item_sk"])
+    fk("fk_sr_c", "store_returns", ["sr_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_sr_cd", "store_returns", ["sr_cdemo_sk"], "customer_demographics", ["cd_demo_sk"])
+    fk("fk_sr_s", "store_returns", ["sr_store_sk"], "store", ["s_store_sk"])
+    fk("fk_sr_r", "store_returns", ["sr_reason_sk"], "reason", ["r_reason_sk"])
+    fk(
+        "fk_sr_ss",
+        "store_returns",
+        ["sr_ticket_number", "sr_item_sk"],
+        "store_sales",
+        ["ss_ticket_number", "ss_item_sk"],
+    )
+
+    fk("fk_cs_d", "catalog_sales", ["cs_sold_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_cs_t", "catalog_sales", ["cs_sold_time_sk"], "time_dim", ["t_time_sk"])
+    fk("fk_cs_i", "catalog_sales", ["cs_item_sk"], "item", ["i_item_sk"])
+    fk("fk_cs_c", "catalog_sales", ["cs_bill_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_cs_cd", "catalog_sales", ["cs_bill_cdemo_sk"], "customer_demographics", ["cd_demo_sk"])
+    fk("fk_cs_hd", "catalog_sales", ["cs_bill_hdemo_sk"], "household_demographics", ["hd_demo_sk"])
+    fk("fk_cs_ca", "catalog_sales", ["cs_bill_addr_sk"], "customer_address", ["ca_address_sk"])
+    fk("fk_cs_cc", "catalog_sales", ["cs_call_center_sk"], "call_center", ["cc_call_center_sk"])
+    fk("fk_cs_cp", "catalog_sales", ["cs_catalog_page_sk"], "catalog_page", ["cp_catalog_page_sk"])
+    fk("fk_cs_sm", "catalog_sales", ["cs_ship_mode_sk"], "ship_mode", ["sm_ship_mode_sk"])
+    fk("fk_cs_w", "catalog_sales", ["cs_warehouse_sk"], "warehouse", ["w_warehouse_sk"])
+    fk("fk_cs_p", "catalog_sales", ["cs_promo_sk"], "promotion", ["p_promo_sk"])
+
+    fk("fk_cr_d", "catalog_returns", ["cr_returned_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_cr_i", "catalog_returns", ["cr_item_sk"], "item", ["i_item_sk"])
+    fk("fk_cr_c", "catalog_returns", ["cr_returning_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_cr_cc", "catalog_returns", ["cr_call_center_sk"], "call_center", ["cc_call_center_sk"])
+    fk("fk_cr_r", "catalog_returns", ["cr_reason_sk"], "reason", ["r_reason_sk"])
+    fk(
+        "fk_cr_cs",
+        "catalog_returns",
+        ["cr_order_number", "cr_item_sk"],
+        "catalog_sales",
+        ["cs_order_number", "cs_item_sk"],
+    )
+
+    fk("fk_ws_d", "web_sales", ["ws_sold_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_ws_t", "web_sales", ["ws_sold_time_sk"], "time_dim", ["t_time_sk"])
+    fk("fk_ws_i", "web_sales", ["ws_item_sk"], "item", ["i_item_sk"])
+    fk("fk_ws_c", "web_sales", ["ws_bill_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_ws_ca", "web_sales", ["ws_bill_addr_sk"], "customer_address", ["ca_address_sk"])
+    fk("fk_ws_hd", "web_sales", ["ws_ship_hdemo_sk"], "household_demographics", ["hd_demo_sk"])
+    fk("fk_ws_web", "web_sales", ["ws_web_site_sk"], "web_site", ["web_site_sk"])
+    fk("fk_ws_wp", "web_sales", ["ws_web_page_sk"], "web_page", ["wp_web_page_sk"])
+    fk("fk_ws_sm", "web_sales", ["ws_ship_mode_sk"], "ship_mode", ["sm_ship_mode_sk"])
+    fk("fk_ws_w", "web_sales", ["ws_warehouse_sk"], "warehouse", ["w_warehouse_sk"])
+    fk("fk_ws_p", "web_sales", ["ws_promo_sk"], "promotion", ["p_promo_sk"])
+
+    fk("fk_wr_d", "web_returns", ["wr_returned_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_wr_i", "web_returns", ["wr_item_sk"], "item", ["i_item_sk"])
+    fk("fk_wr_c", "web_returns", ["wr_returning_customer_sk"], "customer", ["c_customer_sk"])
+    fk("fk_wr_cd", "web_returns", ["wr_refunded_cdemo_sk"], "customer_demographics", ["cd_demo_sk"])
+    fk("fk_wr_ca", "web_returns", ["wr_refunded_addr_sk"], "customer_address", ["ca_address_sk"])
+    fk("fk_wr_r", "web_returns", ["wr_reason_sk"], "reason", ["r_reason_sk"])
+    fk("fk_wr_wp", "web_returns", ["wr_web_page_sk"], "web_page", ["wp_web_page_sk"])
+    fk(
+        "fk_wr_ws",
+        "web_returns",
+        ["wr_order_number", "wr_item_sk"],
+        "web_sales",
+        ["ws_order_number", "ws_item_sk"],
+    )
+
+    fk("fk_inv_d", "inventory", ["inv_date_sk"], "date_dim", ["d_date_sk"])
+    fk("fk_inv_i", "inventory", ["inv_item_sk"], "item", ["i_item_sk"])
+    fk("fk_inv_w", "inventory", ["inv_warehouse_sk"], "warehouse", ["w_warehouse_sk"])
+    return schema

@@ -1,0 +1,20 @@
+"""TPC-H: schema, seeded data generator, and the 22 benchmark queries."""
+
+from repro.workloads.tpch.datagen import generate_tpch, scaled_rows
+from repro.workloads.tpch.queries import (
+    ALL_QUERIES,
+    RUNTIME_EXCLUDED,
+    runtime_queries,
+)
+from repro.workloads.tpch.schema import BASE_ROWS, SMALL_TABLES, tpch_schema
+
+__all__ = [
+    "ALL_QUERIES",
+    "BASE_ROWS",
+    "RUNTIME_EXCLUDED",
+    "SMALL_TABLES",
+    "generate_tpch",
+    "runtime_queries",
+    "scaled_rows",
+    "tpch_schema",
+]

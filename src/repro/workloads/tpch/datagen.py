@@ -1,0 +1,220 @@
+"""A dbgen-like TPC-H data generator (seeded, pure Python).
+
+Faithful to the distributions the partitioning experiments depend on:
+uniform foreign-key references, ~4 lineitems per order, each part supplied
+by 4 suppliers, and one third of customers without orders (which exercises
+the PREF orphan path and TPC-H Q22's anti join).  Absolute values
+(prices, names) are simplified — the design algorithms and the executor
+only care about join keys, dates, and a handful of categorical columns.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.storage.table import Database
+from repro.workloads.tpch.schema import (
+    BASE_ROWS,
+    MAX_ORDER_DAY,
+    tpch_schema,
+)
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+SHIP_INSTRUCTIONS = [
+    "COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN",
+]
+BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+TYPES = [
+    f"{a} {b} {c}"
+    for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+    for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+    for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+]
+CONTAINERS = [
+    f"{a} {b}"
+    for a in ("SM", "MED", "LG", "JUMBO", "WRAP")
+    for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+]
+SUPPLIERS_PER_PART = 4
+
+
+def scaled_rows(scale_factor: float) -> dict[str, int]:
+    """Target row counts for *scale_factor* (lineitem is approximate)."""
+    counts = {}
+    for table, base in BASE_ROWS.items():
+        if table in ("region", "nation"):
+            counts[table] = base
+        else:
+            counts[table] = max(1, int(base * scale_factor))
+    return counts
+
+
+def generate_tpch(scale_factor: float = 0.01, seed: int = 0) -> Database:
+    """Generate a TPC-H database at *scale_factor* (deterministic)."""
+    rng = random.Random(seed)
+    counts = scaled_rows(scale_factor)
+    database = Database(tpch_schema())
+
+    database.load(
+        "region", [(key, name) for key, name in enumerate(REGIONS)]
+    )
+    database.load(
+        "nation",
+        [(key, name, region) for key, (name, region) in enumerate(NATIONS)],
+    )
+
+    supplier_count = counts["supplier"]
+    database.load(
+        "supplier",
+        [
+            (
+                key,
+                f"Supplier#{key:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+            for key in range(1, supplier_count + 1)
+        ],
+    )
+
+    customer_count = counts["customer"]
+    database.load(
+        "customer",
+        [
+            (
+                key,
+                f"Customer#{key:09d}",
+                rng.randrange(len(NATIONS)),
+                rng.choice(SEGMENTS),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                f"{10 + key % 25}-{key % 1000:03d}-{key % 10000:04d}",
+            )
+            for key in range(1, customer_count + 1)
+        ],
+    )
+
+    part_count = counts["part"]
+    database.load(
+        "part",
+        [
+            (
+                key,
+                f"part {key}",
+                f"Manufacturer#{1 + key % 5}",
+                rng.choice(BRANDS),
+                rng.choice(TYPES),
+                1 + rng.randrange(50),
+                rng.choice(CONTAINERS),
+                round(900 + (key % 1000) + key / 10.0, 2),
+            )
+            for key in range(1, part_count + 1)
+        ],
+    )
+
+    # Each part has SUPPLIERS_PER_PART suppliers, dbgen's offset pattern.
+    partsupp_rows = []
+    for part_key in range(1, part_count + 1):
+        for i in range(SUPPLIERS_PER_PART):
+            supp_key = 1 + (
+                part_key + i * (supplier_count // SUPPLIERS_PER_PART or 1)
+            ) % supplier_count
+            partsupp_rows.append(
+                (
+                    part_key,
+                    supp_key,
+                    1 + rng.randrange(9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                )
+            )
+    # Deduplicate the rare (partkey, suppkey) collisions from the modulo.
+    seen: set[tuple[int, int]] = set()
+    unique_partsupp = []
+    for row in partsupp_rows:
+        key = (row[0], row[1])
+        if key not in seen:
+            seen.add(key)
+            unique_partsupp.append(row)
+    database.load("partsupp", unique_partsupp)
+    partsupp_keys = [row[:2] for row in unique_partsupp]
+
+    # One third of customers place no orders (dbgen skips custkey % 3 == 0).
+    ordering_customers = [
+        key for key in range(1, customer_count + 1) if key % 3 != 0
+    ] or [1]
+    order_count = counts["orders"]
+    order_rows = []
+    order_dates = {}
+    for key in range(1, order_count + 1):
+        order_date = rng.randrange(MAX_ORDER_DAY + 1)
+        order_dates[key] = order_date
+        order_rows.append(
+            (
+                key,
+                rng.choice(ordering_customers),
+                rng.choice("OFP"),
+                0.0,  # filled from lineitems below
+                order_date,
+                rng.choice(PRIORITIES),
+                0,
+            )
+        )
+    lineitem_rows = []
+    totals = {}
+    target_lines = counts["lineitem"]
+    per_order = max(1, round(target_lines / order_count))
+    for order_key in range(1, order_count + 1):
+        lines = rng.randrange(1, 2 * per_order + 1)
+        order_date = order_dates[order_key]
+        total = 0.0
+        for line_number in range(1, lines + 1):
+            part_key, supp_key = rng.choice(partsupp_keys)
+            quantity = float(1 + rng.randrange(50))
+            extended = round(quantity * (900 + part_key % 1000) / 10.0, 2)
+            discount = rng.randrange(11) / 100.0
+            tax = rng.randrange(9) / 100.0
+            ship_date = order_date + 1 + rng.randrange(121)
+            commit_date = order_date + 30 + rng.randrange(61)
+            receipt_date = ship_date + 1 + rng.randrange(30)
+            status = "F" if ship_date <= MAX_ORDER_DAY else "O"
+            returnflag = (
+                rng.choice("AR") if receipt_date <= MAX_ORDER_DAY - 30 else "N"
+            )
+            lineitem_rows.append(
+                (
+                    order_key,
+                    line_number,
+                    part_key,
+                    supp_key,
+                    quantity,
+                    extended,
+                    discount,
+                    tax,
+                    returnflag,
+                    status,
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(SHIP_INSTRUCTIONS),
+                    rng.choice(SHIP_MODES),
+                )
+            )
+            total += extended * (1 - discount) * (1 + tax)
+        totals[order_key] = round(total, 2)
+    order_rows = [
+        row[:3] + (totals.get(row[0], 0.0),) + row[4:] for row in order_rows
+    ]
+    database.load("orders", order_rows)
+    database.load("lineitem", lineitem_rows)
+    return database

@@ -1,0 +1,168 @@
+"""The TPC-H schema (8 tables) with its referential constraints.
+
+Columns are the subset every TPC-H query in this repository touches; dates
+are stored as integer day offsets from 1992-01-01 (day 0) so comparisons
+and arithmetic stay cheap.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.column import DataType
+from repro.catalog.schema import DatabaseSchema
+
+#: Base row counts at scale factor 1.0 (lineitem is ~4 lines per order).
+BASE_ROWS = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_000_000,
+}
+
+#: Day offset of 1998-12-01 from 1992-01-01 (used by Q1's interval).
+DAY_19981201 = 2526
+#: Latest order date (1998-08-02).
+MAX_ORDER_DAY = 2405
+
+
+def tpch_schema() -> DatabaseSchema:
+    """Build the TPC-H schema with primary and foreign keys."""
+    schema = DatabaseSchema()
+    integer, flt, varchar = DataType.INTEGER, DataType.FLOAT, DataType.VARCHAR
+    date = DataType.DATE
+
+    schema.create_table(
+        "region",
+        [("r_regionkey", integer), ("r_name", varchar)],
+        primary_key=["r_regionkey"],
+    )
+    schema.create_table(
+        "nation",
+        [
+            ("n_nationkey", integer),
+            ("n_name", varchar),
+            ("n_regionkey", integer),
+        ],
+        primary_key=["n_nationkey"],
+    )
+    schema.create_table(
+        "supplier",
+        [
+            ("s_suppkey", integer),
+            ("s_name", varchar),
+            ("s_nationkey", integer),
+            ("s_acctbal", flt),
+        ],
+        primary_key=["s_suppkey"],
+    )
+    schema.create_table(
+        "customer",
+        [
+            ("c_custkey", integer),
+            ("c_name", varchar),
+            ("c_nationkey", integer),
+            ("c_mktsegment", varchar),
+            ("c_acctbal", flt),
+            ("c_phone", varchar),
+        ],
+        primary_key=["c_custkey"],
+    )
+    schema.create_table(
+        "part",
+        [
+            ("p_partkey", integer),
+            ("p_name", varchar),
+            ("p_mfgr", varchar),
+            ("p_brand", varchar),
+            ("p_type", varchar),
+            ("p_size", integer),
+            ("p_container", varchar),
+            ("p_retailprice", flt),
+        ],
+        primary_key=["p_partkey"],
+    )
+    schema.create_table(
+        "partsupp",
+        [
+            ("ps_partkey", integer),
+            ("ps_suppkey", integer),
+            ("ps_availqty", integer),
+            ("ps_supplycost", flt),
+        ],
+        primary_key=["ps_partkey", "ps_suppkey"],
+    )
+    schema.create_table(
+        "orders",
+        [
+            ("o_orderkey", integer),
+            ("o_custkey", integer),
+            ("o_orderstatus", varchar),
+            ("o_totalprice", flt),
+            ("o_orderdate", date),
+            ("o_orderpriority", varchar),
+            ("o_shippriority", integer),
+        ],
+        primary_key=["o_orderkey"],
+    )
+    schema.create_table(
+        "lineitem",
+        [
+            ("l_orderkey", integer),
+            ("l_linenumber", integer),
+            ("l_partkey", integer),
+            ("l_suppkey", integer),
+            ("l_quantity", flt),
+            ("l_extendedprice", flt),
+            ("l_discount", flt),
+            ("l_tax", flt),
+            ("l_returnflag", varchar),
+            ("l_linestatus", varchar),
+            ("l_shipdate", date),
+            ("l_commitdate", date),
+            ("l_receiptdate", date),
+            ("l_shipinstruct", varchar),
+            ("l_shipmode", varchar),
+        ],
+        primary_key=["l_orderkey", "l_linenumber"],
+    )
+
+    schema.add_foreign_key(
+        "fk_nation_region", "nation", ["n_regionkey"], "region", ["r_regionkey"]
+    )
+    schema.add_foreign_key(
+        "fk_supplier_nation", "supplier", ["s_nationkey"], "nation", ["n_nationkey"]
+    )
+    schema.add_foreign_key(
+        "fk_customer_nation", "customer", ["c_nationkey"], "nation", ["n_nationkey"]
+    )
+    schema.add_foreign_key(
+        "fk_partsupp_part", "partsupp", ["ps_partkey"], "part", ["p_partkey"]
+    )
+    schema.add_foreign_key(
+        "fk_partsupp_supplier",
+        "partsupp",
+        ["ps_suppkey"],
+        "supplier",
+        ["s_suppkey"],
+    )
+    schema.add_foreign_key(
+        "fk_orders_customer", "orders", ["o_custkey"], "customer", ["c_custkey"]
+    )
+    schema.add_foreign_key(
+        "fk_lineitem_orders", "lineitem", ["l_orderkey"], "orders", ["o_orderkey"]
+    )
+    schema.add_foreign_key(
+        "fk_lineitem_partsupp",
+        "lineitem",
+        ["l_partkey", "l_suppkey"],
+        "partsupp",
+        ["ps_partkey", "ps_suppkey"],
+    )
+    return schema
+
+
+#: Tables the paper replicates for the SD/WD variants (Section 5.1).
+SMALL_TABLES = ("nation", "region", "supplier")

@@ -1,0 +1,191 @@
+"""Shared test helpers: databases, configurations, result comparison."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro.catalog import DatabaseSchema, DataType
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    ReplicatedScheme,
+)
+from repro.storage import Database
+
+
+def normalise_rows(rows, places: int = 6) -> Counter:
+    """Multiset of rows with floats rounded (summation order varies)."""
+    return Counter(
+        tuple(
+            round(value, places) if isinstance(value, float) else value
+            for value in row
+        )
+        for row in rows
+    )
+
+
+def assert_same_rows(actual, expected, places: int = 6) -> None:
+    """Assert two row collections are equal as multisets (float-tolerant)."""
+    left = normalise_rows(actual, places)
+    right = normalise_rows(expected, places)
+    if left != right:
+        missing = list((right - left).items())[:5]
+        extra = list((left - right).items())[:5]
+        raise AssertionError(
+            f"row multisets differ; missing={missing} extra={extra}"
+        )
+
+
+def shop_schema() -> DatabaseSchema:
+    """A small orders/customers/items schema used across tests."""
+    schema = DatabaseSchema()
+    schema.create_table(
+        "customer",
+        [
+            ("custkey", DataType.INTEGER),
+            ("cname", DataType.VARCHAR),
+            ("nationkey", DataType.INTEGER),
+        ],
+        primary_key=["custkey"],
+    )
+    schema.create_table(
+        "orders",
+        [
+            ("orderkey", DataType.INTEGER),
+            ("custkey", DataType.INTEGER),
+            ("total", DataType.FLOAT),
+        ],
+        primary_key=["orderkey"],
+    )
+    schema.create_table(
+        "lineitem",
+        [
+            ("linekey", DataType.INTEGER),
+            ("orderkey", DataType.INTEGER),
+            ("itemkey", DataType.INTEGER),
+            ("qty", DataType.INTEGER),
+        ],
+        primary_key=["linekey"],
+    )
+    schema.create_table(
+        "item",
+        [("itemkey", DataType.INTEGER), ("iname", DataType.VARCHAR)],
+        primary_key=["itemkey"],
+    )
+    schema.create_table(
+        "nation",
+        [("nationkey", DataType.INTEGER), ("nname", DataType.VARCHAR)],
+        primary_key=["nationkey"],
+    )
+    schema.add_foreign_key("fk_o_c", "orders", ["custkey"], "customer", ["custkey"])
+    schema.add_foreign_key("fk_l_o", "lineitem", ["orderkey"], "orders", ["orderkey"])
+    schema.add_foreign_key("fk_l_i", "lineitem", ["itemkey"], "item", ["itemkey"])
+    schema.add_foreign_key(
+        "fk_c_n", "customer", ["nationkey"], "nation", ["nationkey"]
+    )
+    return schema
+
+
+def shop_database(
+    seed: int = 0,
+    customers: int = 20,
+    orders: int = 60,
+    lineitems: int = 200,
+    items: int = 15,
+    nations: int = 4,
+    orphans: bool = True,
+) -> Database:
+    """A populated shop database with orphans and skew knobs."""
+    rng = random.Random(seed)
+    database = Database(shop_schema())
+    database.load("nation", [(i, f"nation{i}") for i in range(nations)])
+    database.load(
+        "customer",
+        [(i, f"cust{i}", rng.randrange(nations)) for i in range(customers)],
+    )
+    database.load("item", [(i, f"item{i}") for i in range(items)])
+    # With orphans=True some orders/lineitems reference keys that do not
+    # exist, exercising the PREF round-robin path.
+    customer_domain = int(customers * 1.2) if orphans else customers
+    order_domain = int(orders * 1.1) if orphans else orders
+    database.load(
+        "orders",
+        [
+            (i, rng.randrange(customer_domain), float(rng.randrange(100)))
+            for i in range(orders)
+        ],
+    )
+    database.load(
+        "lineitem",
+        [
+            (
+                i,
+                rng.randrange(order_domain),
+                rng.randrange(items),
+                1 + rng.randrange(9),
+            )
+            for i in range(lineitems)
+        ],
+    )
+    return database
+
+
+def pref_chain_config(n: int) -> PartitioningConfig:
+    """lineitem seed; orders PREF lineitem; customer PREF orders; rest."""
+    config = PartitioningConfig(n)
+    config.add("lineitem", HashScheme(("linekey",), n))
+    config.add(
+        "orders",
+        PrefScheme(
+            "lineitem", JoinPredicate.equi("orders", "orderkey", "lineitem", "orderkey")
+        ),
+    )
+    config.add(
+        "customer",
+        PrefScheme(
+            "orders", JoinPredicate.equi("customer", "custkey", "orders", "custkey")
+        ),
+    )
+    config.add(
+        "item",
+        PrefScheme(
+            "lineitem", JoinPredicate.equi("item", "itemkey", "lineitem", "itemkey")
+        ),
+    )
+    config.add("nation", ReplicatedScheme(n))
+    return config
+
+
+def ref_chain_config(n: int) -> PartitioningConfig:
+    """customer seed; orders PREF customer; lineitem PREF orders (REF-like)."""
+    config = PartitioningConfig(n)
+    config.add("customer", HashScheme(("custkey",), n))
+    config.add(
+        "orders",
+        PrefScheme(
+            "customer", JoinPredicate.equi("orders", "custkey", "customer", "custkey")
+        ),
+    )
+    config.add(
+        "lineitem",
+        PrefScheme(
+            "orders", JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey")
+        ),
+    )
+    config.add("item", ReplicatedScheme(n))
+    config.add("nation", ReplicatedScheme(n))
+    return config
+
+
+def all_hashed_config(n: int) -> PartitioningConfig:
+    """Every table hash-partitioned on its primary key."""
+    config = PartitioningConfig(n)
+    config.add("customer", HashScheme(("custkey",), n))
+    config.add("orders", HashScheme(("orderkey",), n))
+    config.add("lineitem", HashScheme(("linekey",), n))
+    config.add("item", HashScheme(("itemkey",), n))
+    config.add("nation", HashScheme(("nationkey",), n))
+    return config

@@ -1,0 +1,208 @@
+"""Tests for incremental bulk loading (paper Section 2.3)."""
+
+import pytest
+
+from helpers import pref_chain_config, ref_chain_config, shop_schema
+from repro.errors import BulkLoadError
+from repro.partitioning import (
+    BulkLoader,
+    check_pref_invariants,
+    partition_database,
+)
+from repro.storage import Database
+
+
+def empty_shop() -> Database:
+    return Database(shop_schema())
+
+
+class TestInserts:
+    def test_insert_into_seed_table(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        stats = loader.insert("lineitem", [(i, i % 3, i % 2, 1) for i in range(20)])
+        assert stats.rows_in == 20
+        assert stats.copies_written == 20
+        assert partitioned.table("lineitem").total_rows == 20
+
+    def test_pref_insert_uses_partition_index(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        loader.insert("lineitem", [(0, 1, 0, 1), (1, 1, 0, 1), (2, 2, 0, 1)])
+        stats = loader.insert("orders", [(1, 5, 10.0), (2, 6, 20.0)])
+        assert stats.index_lookups == 2
+        check_pref_invariants(partitioned, config)
+
+    def test_pref_insert_duplicates_across_partitions(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        # Put lineitems of order 7 into several partitions by choosing
+        # linekeys that hash apart.
+        loader.insert("lineitem", [(i, 7, 0, 1) for i in range(8)])
+        line_partitions = {
+            p.partition_id
+            for p in partitioned.table("lineitem").partitions
+            if p.row_count
+        }
+        stats = loader.insert("orders", [(7, 1, 5.0)])
+        assert stats.copies_written == len(line_partitions)
+        check_pref_invariants(partitioned, config)
+
+    def test_orphan_insert_goes_round_robin(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        stats = loader.insert("orders", [(99, 1, 1.0), (98, 1, 1.0)])
+        assert stats.copies_written == 2
+        orders = partitioned.table("orders")
+        assert orders.total_rows == 2
+        for partition in orders.partitions:
+            for index in range(partition.row_count):
+                assert not partition.has_partner[index]
+
+    def test_replicated_insert_goes_everywhere(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        stats = loader.insert("nation", [(1, "nowhere")])
+        assert stats.copies_written == 4
+        assert partitioned.table("nation").total_rows == 4
+        assert partitioned.table("nation").canonical_row_count == 1
+
+    def test_load_batches_in_fk_order(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(Database(shop_schema()), config)
+        loader = BulkLoader(partitioned, config)
+        batches = {
+            name: list(shop_db.table(name).rows) for name in config.tables
+        }
+        stats = loader.load(batches)
+        assert stats.rows_in == shop_db.total_rows
+        check_pref_invariants(partitioned, config)
+
+
+class TestReferencedSideMaintenance:
+    def test_new_partner_attracts_existing_referencing_tuple(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        # Order 7 arrives first with no lineitems: round-robin orphan.
+        loader.insert("orders", [(7, 1, 5.0)])
+        # Now its lineitems arrive, in partitions the order may not be in.
+        stats = loader.insert("lineitem", [(i, 7, 0, 1) for i in range(8)])
+        assert stats.propagated_copies >= 1
+        check_pref_invariants(partitioned, config)
+        # hasS must now be set on every copy of order 7.
+        orders = partitioned.table("orders")
+        for partition in orders.partitions:
+            for index, row in enumerate(partition.rows):
+                if row[0] == 7:
+                    assert partition.has_partner[index]
+
+    def test_maintenance_cascades_down_chains(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        loader.insert("customer", [(1, "A", 0)])
+        loader.insert("orders", [(10, 1, 5.0)])
+        loader.insert("lineitem", [(i, 10, 0, 1) for i in range(8)])
+        check_pref_invariants(partitioned, config)
+
+    def test_maintenance_can_be_disabled(self):
+        database = empty_shop()
+        config = pref_chain_config(4)
+        partitioned = partition_database(database, config)
+        loader = BulkLoader(partitioned, config)
+        loader.insert("orders", [(7, 1, 5.0)])
+        stats = loader.insert(
+            "lineitem",
+            [(i, 7, 0, 1) for i in range(8)],
+            maintain_referencing=False,
+        )
+        assert stats.propagated_copies == 0
+
+
+class TestUpdatesAndDeletes:
+    def test_delete_applies_to_all_partitions(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        loader = BulkLoader(partitioned, config)
+        before = partitioned.table("customer").total_rows
+        removed = loader.delete("customer", lambda row: row[0] == 1)
+        assert removed >= 1
+        assert partitioned.table("customer").total_rows == before - removed
+        for partition in partitioned.table("customer").partitions:
+            assert all(row[0] != 1 for row in partition.rows)
+
+    def test_update_rewrites_all_copies(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        loader = BulkLoader(partitioned, config)
+        updated = loader.update(
+            "customer",
+            where=lambda row: row[0] == 1,
+            assign=lambda row: (row[0], "RENAMED", row[2]),
+        )
+        assert updated >= 1
+        names = {
+            row[1]
+            for partition in partitioned.table("customer").partitions
+            for row in partition.rows
+            if row[0] == 1
+        }
+        assert names == {"RENAMED"}
+
+    def test_update_of_predicate_column_rejected(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        loader = BulkLoader(partitioned, config)
+        with pytest.raises(BulkLoadError):
+            loader.update(
+                "customer",
+                where=lambda row: row[0] == 1,
+                assign=lambda row: (999, row[1], row[2]),
+            )
+
+    def test_update_of_referenced_column_rejected(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        loader = BulkLoader(partitioned, config)
+        # orders.custkey is referenced by customer's PREF predicate.
+        with pytest.raises(BulkLoadError):
+            loader.update(
+                "orders",
+                where=lambda row: True,
+                assign=lambda row: (row[0], row[1] + 1, row[2]),
+            )
+
+
+class TestCostAccounting:
+    def test_simulated_seconds_positive(self, shop_db):
+        config = ref_chain_config(4)
+        partitioned = partition_database(Database(shop_schema()), config)
+        loader = BulkLoader(partitioned, config)
+        stats = loader.load(
+            {name: list(shop_db.table(name).rows) for name in config.tables}
+        )
+        assert stats.simulated_seconds() > 0
+        assert stats.bytes_written > 0
+
+    def test_merge_accumulates(self):
+        from repro.partitioning import BulkLoadStats
+
+        first = BulkLoadStats(rows_in=1, copies_written=2, bytes_written=10)
+        second = BulkLoadStats(rows_in=3, copies_written=4, bytes_written=20)
+        first.merge(second)
+        assert first.rows_in == 4
+        assert first.copies_written == 6
+        assert first.bytes_written == 30

@@ -1,0 +1,44 @@
+"""Tests for column and data-type definitions."""
+
+import pytest
+
+from repro.catalog import Column, DataType
+from repro.errors import CatalogError
+
+
+class TestDataType:
+    def test_every_type_has_a_byte_width(self):
+        for dtype in DataType:
+            assert dtype.byte_width > 0
+
+    def test_every_type_accepts_python_types(self):
+        for dtype in DataType:
+            assert dtype.python_types
+
+    def test_varchar_wider_than_integer(self):
+        assert DataType.VARCHAR.byte_width > DataType.INTEGER.byte_width
+
+
+class TestColumn:
+    def test_accepts_matching_value(self):
+        assert Column("a", DataType.INTEGER).accepts(42)
+        assert Column("a", DataType.VARCHAR).accepts("x")
+        assert Column("a", DataType.FLOAT).accepts(1.5)
+        assert Column("a", DataType.FLOAT).accepts(2)  # ints are numeric
+
+    def test_rejects_wrong_type(self):
+        assert not Column("a", DataType.INTEGER).accepts("42")
+        assert not Column("a", DataType.VARCHAR).accepts(42)
+
+    def test_null_requires_nullable(self):
+        assert not Column("a", DataType.INTEGER).accepts(None)
+        assert Column("a", DataType.INTEGER, nullable=True).accepts(None)
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("not a name", DataType.INTEGER)
+        with pytest.raises(CatalogError):
+            Column("", DataType.INTEGER)
+
+    def test_byte_width_from_dtype(self):
+        assert Column("a", DataType.BIGINT).byte_width == DataType.BIGINT.byte_width

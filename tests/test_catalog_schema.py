@@ -1,0 +1,118 @@
+"""Tests for table/database schemas and referential constraints."""
+
+import pytest
+
+from repro.catalog import Column, DatabaseSchema, DataType, TableSchema
+from repro.errors import CatalogError, DuplicateObjectError, UnknownObjectError
+
+
+def make_schema() -> DatabaseSchema:
+    schema = DatabaseSchema()
+    schema.create_table(
+        "parent",
+        [("pk", DataType.INTEGER), ("label", DataType.VARCHAR)],
+        primary_key=["pk"],
+    )
+    schema.create_table(
+        "child",
+        [("ck", DataType.INTEGER), ("parent_pk", DataType.INTEGER)],
+        primary_key=["ck"],
+    )
+    schema.add_foreign_key("fk", "child", ["parent_pk"], "parent", ["pk"])
+    return schema
+
+
+class TestTableSchema:
+    def test_positions_and_columns(self):
+        table = TableSchema(
+            "t",
+            [Column("a", DataType.INTEGER), Column("b", DataType.VARCHAR)],
+            primary_key=["a"],
+        )
+        assert table.column_names == ("a", "b")
+        assert table.position("b") == 1
+        assert table.positions(["b", "a"]) == (1, 0)
+        assert table.column("a").dtype is DataType.INTEGER
+        assert len(table) == 2
+
+    def test_row_byte_width_sums_columns(self):
+        table = TableSchema(
+            "t", [Column("a", DataType.INTEGER), Column("b", DataType.BIGINT)]
+        )
+        assert table.row_byte_width == 12
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(DuplicateObjectError):
+            TableSchema(
+                "t", [Column("a", DataType.INTEGER), Column("a", DataType.INTEGER)]
+            )
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(UnknownObjectError):
+            TableSchema("t", [Column("a", DataType.INTEGER)], primary_key=["b"])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_unknown_column_lookup(self):
+        table = TableSchema("t", [Column("a", DataType.INTEGER)])
+        with pytest.raises(UnknownObjectError):
+            table.position("zzz")
+
+
+class TestDatabaseSchema:
+    def test_tables_registered(self):
+        schema = make_schema()
+        assert schema.has_table("parent")
+        assert set(schema.table_names) == {"parent", "child"}
+
+    def test_duplicate_table_rejected(self):
+        schema = make_schema()
+        with pytest.raises(DuplicateObjectError):
+            schema.create_table("parent", [("x", DataType.INTEGER)])
+
+    def test_foreign_keys_validated(self):
+        schema = make_schema()
+        with pytest.raises(UnknownObjectError):
+            schema.add_foreign_key("bad", "child", ["zzz"], "parent", ["pk"])
+        with pytest.raises(UnknownObjectError):
+            schema.add_foreign_key("bad2", "child", ["ck"], "parent", ["zzz"])
+
+    def test_self_referencing_fk_rejected(self):
+        schema = make_schema()
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key("selfy", "child", ["parent_pk"], "child", ["ck"])
+
+    def test_mismatched_fk_arity_rejected(self):
+        schema = make_schema()
+        with pytest.raises(CatalogError):
+            schema.add_foreign_key(
+                "bad", "child", ["ck", "parent_pk"], "parent", ["pk"]
+            )
+
+    def test_foreign_keys_of(self):
+        schema = make_schema()
+        assert len(schema.foreign_keys_of("parent")) == 1
+        assert len(schema.foreign_keys_of("child")) == 1
+        assert schema.foreign_keys_of("parent")[0].name == "fk"
+
+    def test_drop_table_removes_fks(self):
+        schema = make_schema()
+        schema.drop_table("parent")
+        assert not schema.has_table("parent")
+        assert schema.foreign_keys == ()
+
+    def test_restricted_to_keeps_internal_fks_only(self):
+        schema = make_schema()
+        schema.create_table("lonely", [("x", DataType.INTEGER)])
+        restricted = schema.restricted_to(["child", "lonely"])
+        assert set(restricted.table_names) == {"child", "lonely"}
+        assert restricted.foreign_keys == ()
+        both = schema.restricted_to(["child", "parent"])
+        assert len(both.foreign_keys) == 1
+
+    def test_restricted_to_unknown_table(self):
+        schema = make_schema()
+        with pytest.raises(UnknownObjectError):
+            schema.restricted_to(["nope"])

@@ -1,0 +1,55 @@
+"""Tests for frequency histograms and sampling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog import build_histogram
+
+
+class TestBuildHistogram:
+    def test_full_scan_counts_exactly(self):
+        hist = build_histogram(["a", "b", "a", "a"])
+        assert hist.frequency("a") == 3
+        assert hist.frequency("b") == 1
+        assert hist.frequency("zzz") == 0
+        assert hist.distinct_count == 2
+        assert hist.total_count == 4
+
+    def test_sampling_reduces_rows(self):
+        values = list(range(1000))
+        hist = build_histogram(values, sampling_rate=0.1, seed=1)
+        assert hist.row_count == 100
+        assert hist.sampling_rate == 0.1
+
+    def test_sampling_is_deterministic(self):
+        values = list(range(500))
+        first = build_histogram(values, sampling_rate=0.2, seed=9)
+        second = build_histogram(values, sampling_rate=0.2, seed=9)
+        assert first.frequencies == second.frequencies
+
+    def test_scaled_frequency_extrapolates(self):
+        values = [1] * 100
+        hist = build_histogram(values, sampling_rate=0.5, seed=0)
+        assert hist.scaled_frequency(1) == pytest.approx(100.0)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            build_histogram([1], sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            build_histogram([1], sampling_rate=1.5)
+
+    def test_empty_values(self):
+        hist = build_histogram([], sampling_rate=0.5)
+        assert hist.distinct_count == 0
+        assert hist.total_count == 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=200),
+        st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_sample_counts_never_exceed_truth(self, values, rate):
+        hist = build_histogram(values, sampling_rate=rate, seed=3)
+        for value, count in hist.items():
+            assert count <= values.count(value)
+        assert sum(hist.frequencies.values()) == hist.row_count

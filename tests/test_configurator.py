@@ -1,0 +1,129 @@
+"""Tests for the configuration enumerator (Listing 1 + multi-seed)."""
+
+import pytest
+
+from helpers import shop_database
+from repro.design import (
+    RedundancyEstimator,
+    SchemaGraph,
+    find_optimal_config,
+    is_redundancy_free,
+)
+from repro.design.spanning import maximum_spanning_forest
+from repro.errors import DesignError
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    SchemeKind,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    database = shop_database(seed=8, orphans=False)
+    graph = SchemaGraph.from_schema(
+        database.schema, database.table_sizes(), exclude=["nation"]
+    )
+    mast = maximum_spanning_forest(graph)
+    estimator = RedundancyEstimator(database, 4)
+    return database, graph, mast, estimator
+
+
+class TestFindOptimalConfig:
+    def test_single_seed_configuration(self, setup):
+        database, graph, mast, estimator = setup
+        result = find_optimal_config(
+            mast, graph.tables, database.schema, estimator, 4
+        )
+        assert len(result.seeds) == 1
+        assert len(result.kept_edges) == len(mast)
+        assert result.cut_edges == ()
+        result.config.validate(database.schema)
+        # Every non-seed table is PREF-chained to the seed.
+        for table in result.config.tables:
+            assert result.config.seed_of(table) == result.seeds[0]
+
+    def test_seed_hash_columns_from_heaviest_edge(self, setup):
+        database, graph, mast, estimator = setup
+        result = find_optimal_config(
+            mast, graph.tables, database.schema, estimator, 4
+        )
+        seed = result.seeds[0]
+        seed_scheme = result.config.scheme_of(seed)
+        assert isinstance(seed_scheme, HashScheme)
+        incident = [e for e in mast if seed in e.tables]
+        heaviest = max(incident, key=lambda e: e.weight)
+        assert seed_scheme.columns == heaviest.predicate.columns_of(seed)
+
+    def test_constraints_force_multiple_seeds(self, setup):
+        database, graph, mast, estimator = setup
+        tables = frozenset(graph.tables)
+        result = find_optimal_config(
+            mast,
+            graph.tables,
+            database.schema,
+            estimator,
+            4,
+            no_redundancy=tables,
+        )
+        for table in tables:
+            assert is_redundancy_free(table, result.config, database.schema)
+        # The shop graph needs a cut: item cannot be reached duplicate-free.
+        assert len(result.seeds) >= 2
+        assert len(result.cut_edges) == len(result.seeds) - 1
+
+    def test_cut_maximises_kept_weight(self, setup):
+        database, graph, mast, estimator = setup
+        result = find_optimal_config(
+            mast,
+            graph.tables,
+            database.schema,
+            estimator,
+            4,
+            no_redundancy=frozenset(graph.tables),
+        )
+        # The cut edge must be among the lightest feasible choices: its
+        # weight cannot exceed the heaviest MAST edge.
+        cut_weight = sum(e.weight for e in result.cut_edges)
+        heaviest = max(e.weight for e in mast)
+        assert cut_weight < heaviest
+
+    def test_isolated_table_gets_pk_hash(self, setup):
+        database, _graph, _mast, estimator = setup
+        result = find_optimal_config(
+            [], ["customer"], database.schema, estimator, 4
+        )
+        scheme = result.config.scheme_of("customer")
+        assert scheme.kind is SchemeKind.HASH
+        assert scheme.columns == ("custkey",)
+
+
+class TestIsRedundancyFree:
+    def test_pk_chain_is_free(self, setup):
+        database, *_ = setup
+        config = PartitioningConfig(4)
+        config.add("customer", HashScheme(("custkey",), 4))
+        config.add(
+            "orders",
+            PrefScheme(
+                "customer",
+                JoinPredicate.equi("orders", "custkey", "customer", "custkey"),
+            ),
+        )
+        assert is_redundancy_free("orders", config, database.schema)
+
+    def test_non_pk_reference_is_not_free(self, setup):
+        database, *_ = setup
+        config = PartitioningConfig(4)
+        config.add("orders", HashScheme(("orderkey",), 4))
+        config.add(
+            "customer",
+            PrefScheme(
+                "orders",
+                JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+            ),
+        )
+        # orders.custkey is not the orders primary key: duplicates likely.
+        assert not is_redundancy_free("customer", config, database.schema)

@@ -1,0 +1,199 @@
+"""Tests for the SD and WD automated design algorithms."""
+
+import pytest
+
+from helpers import shop_database
+from repro.design import (
+    QuerySpec,
+    SchemaDrivenDesigner,
+    WorkloadDrivenDesigner,
+    config_data_locality,
+    is_redundancy_free,
+)
+from repro.design.graph import SchemaGraph
+from repro.errors import DesignError
+from repro.partitioning import (
+    JoinPredicate,
+    PrefScheme,
+    check_pref_invariants,
+    partition_database,
+)
+
+
+class TestSchemaDriven:
+    def test_produces_valid_configuration(self, shop_db):
+        result = SchemaDrivenDesigner(shop_db, 4).design(replicate=["nation"])
+        result.config.validate(shop_db.schema)
+        partitioned = partition_database(shop_db, result.config)
+        check_pref_invariants(partitioned, result.config)
+
+    def test_covers_all_tables(self, shop_db):
+        result = SchemaDrivenDesigner(shop_db, 4).design(replicate=["nation"])
+        assert set(result.config.tables) == set(shop_db.schema.table_names)
+
+    def test_single_seed_by_default(self, shop_db):
+        result = SchemaDrivenDesigner(shop_db, 4).design(replicate=["nation"])
+        assert len(result.seeds) == 1
+
+    def test_full_locality_on_tree_schema(self, shop_db):
+        # Excluding nation, the shop FK graph is a tree: DL must be 1.
+        result = SchemaDrivenDesigner(shop_db, 4).design(replicate=["nation"])
+        assert result.data_locality == pytest.approx(1.0)
+
+    def test_no_redundancy_constraints_respected(self, shop_db):
+        designer = SchemaDrivenDesigner(shop_db, 4)
+        tables = [t for t in shop_db.schema.table_names if t != "nation"]
+        result = designer.design(replicate=["nation"], no_redundancy=tables)
+        for table in tables:
+            assert is_redundancy_free(table, result.config, shop_db.schema)
+        partitioned = partition_database(shop_db, result.config)
+        for table in tables:
+            assert partitioned.table(table).duplicate_count == 0
+
+    def test_constraints_reduce_locality(self, shop_db):
+        designer = SchemaDrivenDesigner(shop_db, 4)
+        free = designer.design(replicate=["nation"])
+        tables = [t for t in shop_db.schema.table_names if t != "nation"]
+        constrained = designer.design(
+            replicate=["nation"], no_redundancy=tables
+        )
+        assert constrained.data_locality <= free.data_locality
+        assert len(constrained.seeds) >= len(free.seeds)
+
+    def test_estimated_size_ordering(self, shop_db):
+        # The chosen configuration's estimate must not exceed alternatives
+        # with other seeds (it is the enumeration minimum).
+        from repro.design import RedundancyEstimator, find_optimal_config
+        from repro.design.spanning import maximum_spanning_forest
+
+        designer = SchemaDrivenDesigner(shop_db, 4)
+        result = designer.design(replicate=["nation"])
+        graph = result.graph
+        estimator = RedundancyEstimator(shop_db, 4)
+        mast = maximum_spanning_forest(graph)
+        best = find_optimal_config(
+            mast, graph.tables, shop_db.schema, estimator, 4
+        )
+        assert result.estimated_size <= best.estimated_size * 1.0001
+
+
+class TestWorkloadDriven:
+    def make_workload(self):
+        return [
+            QuerySpec.make(
+                "q_lo",
+                [JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey")],
+            ),
+            QuerySpec.make(
+                "q_loc",
+                [
+                    JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey"),
+                    JoinPredicate.equi("orders", "custkey", "customer", "custkey"),
+                ],
+            ),
+            QuerySpec.make(
+                "q_li",
+                [JoinPredicate.equi("lineitem", "itemkey", "item", "itemkey")],
+            ),
+            QuerySpec.make("q_single", []),
+        ]
+
+    def test_containment_merge_absorbs_subqueries(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        # q_lo's MAST is contained in q_loc's.
+        fragment = result.fragment_for("q_lo")
+        assert "q_loc" in fragment.queries
+
+    def test_queries_fully_local(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        assert result.data_locality == pytest.approx(1.0)
+
+    def test_fragments_materialise_and_hold_invariants(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        for fragment in result.fragments:
+            partitioned = partition_database(shop_db, fragment.config)
+            check_pref_invariants(partitioned, fragment.config)
+
+    def test_single_table_queries_ignored(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        with pytest.raises(DesignError):
+            result.fragment_for("q_single")
+
+    def test_merge_reduces_fragments(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        assert result.components_initial >= result.components_after_containment
+        assert result.components_after_containment >= len(result.fragments)
+
+    def test_replicated_tables_drop_edges(self, shop_db):
+        workload = [
+            QuerySpec.make(
+                "q_cn",
+                [JoinPredicate.equi("customer", "nationkey", "nation", "nationkey")],
+            )
+        ]
+        result = WorkloadDrivenDesigner(shop_db, 4).design(
+            workload, replicate=["nation"]
+        )
+        assert result.fragments == ()
+
+    def test_cyclic_query_graph_loses_an_edge(self, shop_db):
+        workload = [
+            QuerySpec.make(
+                "q_cycle",
+                [
+                    JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey"),
+                    JoinPredicate.equi("orders", "custkey", "customer", "custkey"),
+                    # artificial cycle-closing predicate
+                    JoinPredicate.equi("customer", "custkey", "lineitem", "linekey"),
+                ],
+            )
+        ]
+        result = WorkloadDrivenDesigner(shop_db, 4).design(workload)
+        assert result.data_locality < 1.0
+
+    def test_estimated_redundancy_reported(self, shop_db):
+        result = WorkloadDrivenDesigner(shop_db, 4).design(self.make_workload())
+        assert result.estimated_size > 0
+        assert result.estimated_redundancy >= 0
+
+
+class TestQuerySpecFromPlan:
+    def test_extracts_equi_joins(self, shop_db):
+        from repro.query import Query
+
+        plan = (
+            Query.scan("lineitem", alias="l")
+            .join(Query.scan("orders", alias="o"), on=[("l.orderkey", "o.orderkey")])
+            .join(Query.scan("customer", alias="c"), on=[("o.custkey", "c.custkey")])
+            .plan()
+        )
+        spec = QuerySpec.from_plan("q", plan, shop_db.schema)
+        assert len(spec.predicates) == 2
+        assert spec.tables == frozenset({"lineitem", "orders", "customer"})
+
+    def test_cross_joins_ignored(self, shop_db):
+        from repro.query import Query
+
+        plan = (
+            Query.scan("item", alias="i")
+            .cross_join(Query.scan("nation", alias="n"))
+            .plan()
+        )
+        spec = QuerySpec.from_plan("q", plan, shop_db.schema)
+        assert spec.predicates == ()
+        assert spec.tables == frozenset({"item", "nation"})
+
+    def test_composite_join_collapses_to_one_predicate(self, shop_db):
+        from repro.query import Query
+
+        plan = (
+            Query.scan("lineitem", alias="l")
+            .join(
+                Query.scan("orders", alias="o"),
+                on=[("l.orderkey", "o.orderkey"), ("l.qty", "o.custkey")],
+            )
+            .plan()
+        )
+        spec = QuerySpec.from_plan("q", plan, shop_db.schema)
+        assert len(spec.predicates) == 1
+        assert len(spec.predicates[0].left_columns) == 2

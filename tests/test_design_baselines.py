@@ -1,0 +1,111 @@
+"""Tests for the baseline designs and the locality checker."""
+
+import pytest
+
+from repro.design import (
+    SchemaGraph,
+    all_hashed,
+    all_replicated,
+    classical_individual_stars,
+    classical_partitioning,
+    config_data_locality,
+    edge_satisfied,
+    sd_individual_stars,
+    split_into_stars,
+)
+from repro.partitioning import SchemeKind, partition_database
+from repro.workloads.tpcds import FACT_TABLES
+
+
+class TestClassicalPartitioning:
+    def test_cohashes_two_biggest_connected(self, shop_db):
+        config = classical_partitioning(shop_db, 4)
+        # lineitem (200) is biggest; orders (60) its biggest FK partner.
+        assert config.scheme_of("lineitem").kind is SchemeKind.HASH
+        assert config.scheme_of("orders").kind is SchemeKind.HASH
+        assert config.scheme_of("lineitem").columns == ("orderkey",)
+        assert config.scheme_of("orders").columns == ("orderkey",)
+        for table in ("customer", "item", "nation"):
+            assert config.scheme_of(table).kind is SchemeKind.REPLICATED
+
+    def test_perfect_locality(self, shop_db):
+        graph = SchemaGraph.from_schema(shop_db.schema, shop_db.table_sizes())
+        config = classical_partitioning(shop_db, 4)
+        assert config_data_locality(graph, config) == pytest.approx(1.0)
+
+
+class TestAllHashedAllReplicated:
+    def test_all_hashed_zero_locality(self, shop_db):
+        graph = SchemaGraph.from_schema(shop_db.schema, shop_db.table_sizes())
+        config = all_hashed(shop_db, 4)
+        assert config_data_locality(graph, config) == pytest.approx(0.0)
+        partitioned = partition_database(shop_db, config)
+        assert partitioned.data_redundancy() == pytest.approx(0.0)
+
+    def test_all_replicated_full_redundancy(self, shop_db):
+        graph = SchemaGraph.from_schema(shop_db.schema, shop_db.table_sizes())
+        config = all_replicated(shop_db, 4)
+        assert config_data_locality(graph, config) == pytest.approx(1.0)
+        partitioned = partition_database(shop_db, config)
+        assert partitioned.data_redundancy() == pytest.approx(3.0)
+
+
+class TestEdgeSatisfied:
+    def test_pref_edge_satisfied(self, shop_db):
+        from helpers import pref_chain_config
+
+        graph = SchemaGraph.from_schema(shop_db.schema, shop_db.table_sizes())
+        config = pref_chain_config(4)
+        by_tables = {frozenset(e.tables): e for e in graph.edges}
+        assert edge_satisfied(by_tables[frozenset({"lineitem", "orders"})], config)
+        assert edge_satisfied(by_tables[frozenset({"orders", "customer"})], config)
+        assert edge_satisfied(by_tables[frozenset({"customer", "nation"})], config)
+
+    def test_unrelated_hash_edge_not_satisfied(self, shop_db):
+        from helpers import all_hashed_config
+
+        graph = SchemaGraph.from_schema(shop_db.schema, shop_db.table_sizes())
+        config = all_hashed_config(4)
+        for edge in graph.edges:
+            assert not edge_satisfied(edge, config)
+
+
+class TestIndividualStars:
+    def test_split_into_stars_follows_outgoing_fks(self, tiny_tpcds_schema):
+        stars = split_into_stars(tiny_tpcds_schema, FACT_TABLES)
+        assert set(stars) == set(FACT_TABLES)
+        assert "item" in stars["store_sales"]
+        assert "date_dim" in stars["inventory"]
+        # returns stars include their sales table (composite FK).
+        assert "store_sales" in stars["store_returns"]
+
+    def test_cp_individual_stars_builds_config_per_star(self, tiny_tpcds):
+        design = classical_individual_stars(tiny_tpcds, 4, FACT_TABLES)
+        assert set(design.stars) == set(FACT_TABLES)
+        for fact, config in design.stars.items():
+            assert fact in config.tables
+
+    def test_sd_individual_stars_valid(self, tiny_tpcds):
+        design = sd_individual_stars(
+            tiny_tpcds, 4, ["store_sales", "inventory"]
+        )
+        for fact, config in design.stars.items():
+            star_schema = tiny_tpcds.schema.restricted_to(
+                design.star_tables[fact]
+            )
+            config.validate(star_schema)
+
+
+import pytest  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def tiny_tpcds():
+    from repro.workloads.tpcds import generate_tpcds
+
+    return generate_tpcds(scale_factor=0.0005, seed=1)
+
+
+@pytest.fixture(scope="module")
+def tiny_tpcds_schema(tiny_tpcds):
+    return tiny_tpcds.schema

@@ -1,0 +1,123 @@
+"""Tests for the Appendix A redundancy estimator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import pref_chain_config, ref_chain_config, shop_database
+from repro.design import (
+    RedundancyEstimator,
+    expected_copies,
+    expected_copies_closed_form,
+    stirling2,
+)
+from repro.partitioning import partition_database
+
+
+class TestStirling:
+    def test_known_values(self):
+        # S(4, 2) = 7, S(5, 3) = 25, S(n, 1) = 1, S(n, n) = 1.
+        assert stirling2(4, 2) == 7
+        assert stirling2(5, 3) == 25
+        assert stirling2(6, 1) == 1
+        assert stirling2(6, 6) == 1
+        assert stirling2(3, 5) == 0
+        assert stirling2(3, 0) == 0
+
+    def test_recurrence(self):
+        for f in range(2, 12):
+            for x in range(1, f + 1):
+                assert stirling2(f, x) == x * stirling2(f - 1, x) + stirling2(
+                    f - 1, x - 1
+                )
+
+
+class TestExpectedCopies:
+    def test_boundaries(self):
+        assert expected_copies(0, 10) == 1.0  # orphan: stored once
+        assert expected_copies(1, 10) == 1.0
+        assert expected_copies(5, 1) == 1.0
+
+    def test_monotone_in_frequency(self):
+        values = [expected_copies(f, 10) for f in range(1, 40)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_bounded_by_min_n_f(self):
+        for f in range(1, 30):
+            for n in (2, 5, 10):
+                assert 1.0 <= expected_copies(f, n) <= min(n, f) + 1e-9
+
+    def test_stirling_formulation_equals_closed_form(self):
+        # The Stirling sum is the expected number of occupied boxes; the
+        # closed form n(1-(1-1/n)^f) is the same quantity.
+        for f in range(1, 30):
+            for n in (2, 3, 7, 10):
+                assert expected_copies(f, n) == pytest.approx(
+                    expected_copies_closed_form(f, n), rel=1e-9
+                )
+
+    def test_large_frequency_saturates(self):
+        assert expected_copies(10_000, 10) == pytest.approx(10.0, rel=1e-6)
+
+    @given(
+        f=st.integers(min_value=1, max_value=200),
+        n=st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_in_range(self, f, n):
+        value = expected_copies(f, n)
+        assert 1.0 <= value <= min(n, f) + 1e-9
+
+
+class TestRedundancyEstimator:
+    def test_edge_factor_one_for_pk_reference(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        config = ref_chain_config(4)
+        # orders references customer's primary key: frequency 1 per value.
+        size = estimator.estimate_table_size("orders", config)
+        assert size == pytest.approx(shop_db.table("orders").row_count, rel=0.01)
+
+    def test_estimates_close_to_actual(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        for table in ("orders", "item"):
+            estimate = estimator.estimate_table_size(table, config)
+            actual = partitioned.table(table).total_rows
+            assert estimate == pytest.approx(actual, rel=0.45)
+
+    def test_replicated_table_size(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        config = pref_chain_config(4)
+        size = estimator.estimate_table_size("nation", config)
+        assert size == shop_db.table("nation").row_count * 4
+
+    def test_database_size_and_redundancy(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        config = pref_chain_config(4)
+        total = estimator.estimate_database_size(config)
+        assert total > shop_db.total_rows  # redundancy exists
+        assert estimator.estimate_redundancy(config) > 0
+
+    def test_sampling_changes_little_on_uniform_data(self):
+        database = shop_database(seed=11, orders=200, lineitems=800)
+        full = RedundancyEstimator(database, 8, sampling_rate=1.0)
+        sampled = RedundancyEstimator(database, 8, sampling_rate=0.3, seed=2)
+        config = pref_chain_config(8)
+        exact = full.estimate_database_size(config)
+        approx = sampled.estimate_database_size(config)
+        assert approx == pytest.approx(exact, rel=0.35)
+
+    def test_factor_cached(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        config = pref_chain_config(4)
+        first = estimator.estimate_table_size("orders", config)
+        second = estimator.estimate_table_size("orders", config)
+        assert first == second
+        assert estimator._edge_cache  # populated
+
+    def test_invalid_partition_count(self, shop_db):
+        from repro.errors import DesignError
+
+        with pytest.raises(DesignError):
+            RedundancyEstimator(shop_db, 0)

@@ -1,0 +1,101 @@
+"""Tests for schema graphs and the data-locality metric."""
+
+import pytest
+
+from helpers import shop_schema
+from repro.design import GraphEdge, SchemaGraph, data_locality
+from repro.errors import DesignError
+from repro.partitioning import JoinPredicate
+
+SIZES = {"customer": 20, "orders": 60, "lineitem": 200, "item": 15, "nation": 4}
+
+
+def edge(a, ca, b, cb, weight):
+    return GraphEdge(JoinPredicate.equi(a, ca, b, cb), weight)
+
+
+class TestSchemaGraph:
+    def test_from_schema_uses_fks_and_min_size(self):
+        graph = SchemaGraph.from_schema(shop_schema(), SIZES)
+        assert set(graph.tables) == set(SIZES)
+        weights = {frozenset(e.tables): e.weight for e in graph.edges}
+        assert weights[frozenset({"orders", "customer"})] == 20
+        assert weights[frozenset({"lineitem", "orders"})] == 60
+        assert weights[frozenset({"lineitem", "item"})] == 15
+        assert weights[frozenset({"customer", "nation"})] == 4
+
+    def test_exclusion_drops_edges(self):
+        graph = SchemaGraph.from_schema(shop_schema(), SIZES, exclude=["nation"])
+        assert "nation" not in graph.tables
+        assert all("nation" not in e.tables for e in graph.edges)
+
+    def test_from_predicates(self):
+        graph = SchemaGraph.from_predicates(
+            [JoinPredicate.equi("orders", "custkey", "customer", "custkey")],
+            SIZES,
+        )
+        assert set(graph.tables) == {"orders", "customer"}
+        assert graph.edges[0].weight == 20
+
+    def test_from_predicates_unknown_size(self):
+        with pytest.raises(DesignError):
+            SchemaGraph.from_predicates(
+                [JoinPredicate.equi("a", "x", "b", "y")], {"a": 1}
+            )
+
+    def test_duplicate_edges_collapse(self):
+        graph = SchemaGraph({"a": 1, "b": 2})
+        graph.add_edge(edge("a", "x", "b", "y", 1))
+        graph.add_edge(edge("b", "y", "a", "x", 1))  # same edge, flipped
+        assert len(graph.edges) == 1
+
+    def test_connected_components(self):
+        graph = SchemaGraph({"a": 1, "b": 1, "c": 1, "d": 1})
+        graph.add_edge(edge("a", "x", "b", "y", 1))
+        components = sorted(
+            tuple(sorted(component)) for component in graph.connected_components()
+        )
+        assert components == [("a", "b"), ("c",), ("d",)]
+
+    def test_is_acyclic(self):
+        graph = SchemaGraph({"a": 1, "b": 1, "c": 1})
+        graph.add_edge(edge("a", "x", "b", "y", 1))
+        graph.add_edge(edge("b", "y", "c", "z", 1))
+        assert graph.is_acyclic()
+        graph.add_edge(edge("a", "x", "c", "z", 1))
+        assert not graph.is_acyclic()
+
+    def test_merged_with_and_contains(self):
+        first = SchemaGraph({"a": 1, "b": 1})
+        first.add_edge(edge("a", "x", "b", "y", 1))
+        second = SchemaGraph({"b": 1, "c": 1})
+        second.add_edge(edge("b", "y", "c", "z", 1))
+        merged = first.merged_with(second)
+        assert merged.contains(first)
+        assert merged.contains(second)
+        assert not first.contains(merged)
+
+    def test_subgraph(self):
+        graph = SchemaGraph.from_schema(shop_schema(), SIZES)
+        sub = graph.subgraph(["lineitem", "orders"])
+        assert set(sub.tables) == {"lineitem", "orders"}
+        assert len(sub.edges) == 1
+
+
+class TestDataLocality:
+    def test_full_and_empty(self):
+        graph = SchemaGraph.from_schema(shop_schema(), SIZES)
+        assert data_locality(graph, graph.edges) == 1.0
+        assert data_locality(graph, []) == 0.0
+
+    def test_partial_is_weight_fraction(self):
+        graph = SchemaGraph({"a": 10, "b": 10, "c": 10})
+        e1 = edge("a", "x", "b", "y", 30)
+        e2 = edge("b", "y", "c", "z", 10)
+        graph.add_edge(e1)
+        graph.add_edge(e2)
+        assert data_locality(graph, [e1]) == pytest.approx(0.75)
+
+    def test_edgeless_graph_is_fully_local(self):
+        graph = SchemaGraph({"a": 1})
+        assert data_locality(graph, []) == 1.0

@@ -1,0 +1,108 @@
+"""Tests for maximum spanning tree/forest extraction."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.design import (
+    GraphEdge,
+    SchemaGraph,
+    enumerate_maximum_spanning_forests,
+    maximum_spanning_forest,
+)
+from repro.design.spanning import forest_weight
+from repro.partitioning import JoinPredicate
+
+
+def edge(a, b, weight):
+    return GraphEdge(JoinPredicate.equi(a, "x", b, "y"), weight)
+
+
+def paper_figure4_graph() -> SchemaGraph:
+    """The simplified TPC-H schema graph of paper Figure 4 (SF = 1)."""
+    graph = SchemaGraph(
+        {"L": 6_000_000, "O": 1_500_000, "C": 150_000, "S": 10_000, "N": 25}
+    )
+    graph.add_edge(edge("L", "O", 1_500_000))
+    graph.add_edge(edge("O", "C", 150_000))
+    graph.add_edge(edge("L", "S", 10_000))
+    graph.add_edge(edge("C", "N", 25))
+    graph.add_edge(edge("S", "N", 25))
+    return graph
+
+
+class TestMaximumSpanningForest:
+    def test_figure4_mast_drops_one_nation_edge(self):
+        graph = paper_figure4_graph()
+        mast = maximum_spanning_forest(graph)
+        assert len(mast) == 4
+        assert forest_weight(mast) == 1_500_000 + 150_000 + 10_000 + 25
+        kept = {frozenset(e.tables) for e in mast}
+        # Exactly one of the two weight-25 nation edges survives.
+        nation_edges = {frozenset({"C", "N"}), frozenset({"S", "N"})}
+        assert len(kept & nation_edges) == 1
+
+    def test_disconnected_graph_spans_each_component(self):
+        graph = SchemaGraph({"a": 1, "b": 1, "c": 1, "d": 1})
+        graph.add_edge(edge("a", "b", 5))
+        graph.add_edge(edge("c", "d", 7))
+        mast = maximum_spanning_forest(graph)
+        assert len(mast) == 2
+
+    def test_cycle_drops_lightest_edge(self):
+        graph = SchemaGraph({"a": 1, "b": 1, "c": 1})
+        graph.add_edge(edge("a", "b", 10))
+        graph.add_edge(edge("b", "c", 20))
+        graph.add_edge(edge("a", "c", 5))
+        mast = maximum_spanning_forest(graph)
+        weights = sorted(e.weight for e in mast)
+        assert weights == [10, 20]
+
+    def test_deterministic(self):
+        graph = paper_figure4_graph()
+        first = [e.key() for e in maximum_spanning_forest(graph)]
+        second = [e.key() for e in maximum_spanning_forest(graph)]
+        assert first == second
+
+
+class TestEnumeration:
+    def test_figure4_has_two_masts(self):
+        graph = paper_figure4_graph()
+        forests = list(enumerate_maximum_spanning_forests(graph, limit=10))
+        # The C-N / S-N tie yields exactly two optimal trees.
+        assert len(forests) == 2
+        weights = {forest_weight(f) for f in forests}
+        assert weights == {1_660_025}
+
+    def test_first_enumerated_matches_kruskal(self):
+        graph = paper_figure4_graph()
+        forests = list(enumerate_maximum_spanning_forests(graph, limit=1))
+        assert {e.key() for e in forests[0]} == {
+            e.key() for e in maximum_spanning_forest(graph)
+        }
+
+    def test_limit_respected(self):
+        graph = SchemaGraph({c: 1 for c in "abcde"})
+        for i, a in enumerate("abcde"):
+            for b in "abcde"[i + 1 :]:
+                graph.add_edge(edge(a, b, 1))
+        forests = list(enumerate_maximum_spanning_forests(graph, limit=3))
+        assert len(forests) == 3
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(
+            st.integers(min_value=1, max_value=50), min_size=3, max_size=10
+        )
+    )
+    def test_enumerated_forests_are_optimal_spanning_trees(self, weights):
+        tables = [f"t{i}" for i in range(len(weights))]
+        graph = SchemaGraph({t: 1 for t in tables})
+        # A ring plus chords.
+        for i, weight in enumerate(weights):
+            graph.add_edge(edge(tables[i], tables[(i + 1) % len(tables)], weight))
+        best = forest_weight(maximum_spanning_forest(graph))
+        for forest in enumerate_maximum_spanning_forests(graph, limit=5):
+            assert forest_weight(forest) == best
+            sub = SchemaGraph({t: 1 for t in tables}, forest)
+            assert sub.is_acyclic()
+            assert len(forest) == len(tables) - 1

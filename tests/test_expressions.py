@@ -1,0 +1,100 @@
+"""Tests for the expression language."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.query.expressions import (
+    InList,
+    IsNull,
+    and_,
+    col,
+    lit,
+    not_,
+    or_,
+    resolve_column,
+)
+
+COLUMNS = ("t.a", "t.b", "u.a", "u.c")
+
+
+class TestColumnResolution:
+    def test_exact_match(self):
+        assert resolve_column("t.a", COLUMNS) == 0
+        assert resolve_column("u.c", COLUMNS) == 3
+
+    def test_suffix_match(self):
+        assert resolve_column("b", COLUMNS) == 1
+        assert resolve_column("c", COLUMNS) == 3
+
+    def test_ambiguous_suffix_rejected(self):
+        with pytest.raises(PlanningError):
+            resolve_column("a", COLUMNS)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PlanningError):
+            resolve_column("zzz", COLUMNS)
+
+
+class TestEvaluation:
+    def row(self):
+        return (1, 2, 3, "x")
+
+    def test_column_ref(self):
+        assert col("t.b").bind(COLUMNS)(self.row()) == 2
+
+    def test_literal(self):
+        assert lit(42).bind(COLUMNS)(self.row()) == 42
+
+    def test_comparisons(self):
+        row = self.row()
+        assert (col("t.a") < col("t.b")).bind(COLUMNS)(row)
+        assert (col("t.a") <= lit(1)).bind(COLUMNS)(row)
+        assert (col("t.b") == lit(2)).bind(COLUMNS)(row)
+        assert (col("t.b") != lit(3)).bind(COLUMNS)(row)
+        assert (col("u.a") > lit(2)).bind(COLUMNS)(row)
+        assert (col("u.a") >= lit(3)).bind(COLUMNS)(row)
+
+    def test_arithmetic(self):
+        row = self.row()
+        assert (col("t.a") + col("t.b")).bind(COLUMNS)(row) == 3
+        assert (col("t.b") - lit(1)).bind(COLUMNS)(row) == 1
+        assert (col("t.b") * lit(4)).bind(COLUMNS)(row) == 8
+        assert (col("u.a") / lit(2)).bind(COLUMNS)(row) == 1.5
+        assert (lit(10) - col("t.a")).bind(COLUMNS)(row) == 9
+        assert (lit(1.0) - col("t.a") * lit(0.5)).bind(COLUMNS)(row) == 0.5
+
+    def test_boolean_combinators(self):
+        row = self.row()
+        expr = and_(col("t.a") == lit(1), col("t.b") == lit(2))
+        assert expr.bind(COLUMNS)(row)
+        expr = or_(col("t.a") == lit(99), col("t.b") == lit(2))
+        assert expr.bind(COLUMNS)(row)
+        assert not not_(col("t.a") == lit(1)).bind(COLUMNS)(row)
+
+    def test_single_operand_combinators(self):
+        expr = and_(col("t.a") == lit(1))
+        assert expr.bind(COLUMNS)(self.row())
+
+    def test_in_list(self):
+        row = self.row()
+        assert InList(col("t.b"), (1, 2, 3)).bind(COLUMNS)(row)
+        assert not InList(col("t.b"), (5,)).bind(COLUMNS)(row)
+        assert InList(col("t.b"), (5,), negated=True).bind(COLUMNS)(row)
+
+    def test_is_null(self):
+        columns = ("x",)
+        assert IsNull(col("x")).bind(columns)((None,))
+        assert not IsNull(col("x")).bind(columns)((1,))
+        assert IsNull(col("x"), negated=True).bind(columns)((1,))
+
+    def test_referenced_columns(self):
+        expr = and_(col("t.a") == lit(1), col("t.b") + col("u.c") > lit(0))
+        assert set(expr.referenced_columns()) == {"t.a", "t.b", "u.c"}
+
+    def test_unknown_operator_rejected(self):
+        from repro.query.expressions import Arithmetic, Comparison
+
+        with pytest.raises(PlanningError):
+            Comparison("~", col("t.a"), lit(1))
+        with pytest.raises(PlanningError):
+            Arithmetic("%", col("t.a"), lit(1))

@@ -1,0 +1,117 @@
+"""Direct tests for the reference executor and the report formatter."""
+
+import pytest
+
+from helpers import shop_database
+from repro.bench import format_table
+from repro.errors import ExecutionError
+from repro.query import LocalExecutor, Query
+from repro.query.expressions import col, lit
+
+
+@pytest.fixture(scope="module")
+def database():
+    return shop_database(seed=12)
+
+
+class TestLocalExecutor:
+    def test_scan_columns_qualified(self, database):
+        result = LocalExecutor(database).execute(
+            Query.scan("orders", alias="o").plan()
+        )
+        assert result.columns == ("o.orderkey", "o.custkey", "o.total")
+
+    def test_left_outer_pads_with_none(self, database):
+        plan = (
+            Query.scan("customer", alias="c")
+            .left_join(
+                Query.scan("orders", alias="o").where(col("o.total") > lit(1e9)),
+                on=[("c.custkey", "o.custkey")],
+            )
+            .plan()
+        )
+        result = LocalExecutor(database).execute(plan)
+        assert len(result.rows) == database.table("customer").row_count
+        assert all(row[-1] is None for row in result.rows)
+
+    def test_cross_join_with_residual(self, database):
+        plan = (
+            Query.scan("nation", alias="n")
+            .cross_join(
+                Query.scan("item", alias="i"),
+                residual=(col("n.nationkey") == col("i.itemkey")),
+            )
+            .plan()
+        )
+        result = LocalExecutor(database).execute(plan)
+        assert all(row[0] == row[2] for row in result.rows)
+
+    def test_semi_anti_partition_universe(self, database):
+        customer = Query.scan("customer", alias="c")
+        orders = Query.scan("orders", alias="o")
+        semi = LocalExecutor(database).execute(
+            customer.semi_join(orders, on=[("c.custkey", "o.custkey")]).plan()
+        )
+        anti = LocalExecutor(database).execute(
+            customer.anti_join(orders, on=[("c.custkey", "o.custkey")]).plan()
+        )
+        assert len(semi.rows) + len(anti.rows) == database.table(
+            "customer"
+        ).row_count
+
+    def test_scalar_aggregate_on_empty_input(self, database):
+        plan = (
+            Query.scan("orders", alias="o")
+            .where(col("o.total") > lit(1e9))
+            .aggregate(
+                aggregates=[("count", None, "n"), ("sum", col("o.total"), "s")]
+            )
+            .plan()
+        )
+        result = LocalExecutor(database).execute(plan)
+        assert result.rows == [(0, None)]
+
+    def test_order_by_with_nulls(self, database):
+        plan = (
+            Query.scan("customer", alias="c")
+            .left_join(
+                Query.scan("orders", alias="o").where(col("o.total") > lit(90.0)),
+                on=[("c.custkey", "o.custkey")],
+            )
+            .order_by([("o.total", True)], limit=3)
+            .plan()
+        )
+        result = LocalExecutor(database).execute(plan)
+        # NULLs sort first under ascending order.
+        assert result.rows[0][-1] is None
+
+    def test_unknown_node_rejected(self, database):
+        class Bogus:
+            pass
+
+        with pytest.raises(ExecutionError):
+            LocalExecutor(database).execute(Bogus())
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"],
+            [("alpha", 1.0), ("b", 123456.789)],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert "alpha" in lines[3]
+        # All rows padded to the same width as the separator line.
+        assert len(lines[3]) <= len(lines[2]) + 2
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [(0.0,), (0.123456,), (1234.5,)])
+        assert "0.123" in text
+        assert "1234.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text

@@ -1,0 +1,74 @@
+"""Tests for re-partitioning migration plans."""
+
+import pytest
+
+from helpers import all_hashed_config, pref_chain_config, ref_chain_config
+from repro.partitioning import partition_database, plan_migration
+
+
+class TestPlanMigration:
+    def test_identity_migration_moves_nothing(self, shop_db):
+        config = pref_chain_config(4)
+        plan = plan_migration(shop_db, config, config)
+        assert plan.copies_moved == 0
+        assert plan.moved_fraction == 0.0
+        assert plan.bytes_moved == 0
+
+    def test_full_switch_moves_data(self, shop_db):
+        plan = plan_migration(
+            shop_db, all_hashed_config(4), pref_chain_config(4)
+        )
+        assert plan.copies_moved > 0
+        assert 0 < plan.moved_fraction <= 1
+        assert plan.simulated_seconds() > 0
+
+    def test_kept_plus_moved_equals_target(self, shop_db):
+        plan = plan_migration(
+            shop_db, ref_chain_config(4), pref_chain_config(4)
+        )
+        for migration in plan.tables.values():
+            assert (
+                migration.copies_kept + migration.copies_moved
+                == migration.copies_after
+            )
+            assert migration.copies_dropped >= 0
+
+    def test_new_table_is_fully_loaded(self, shop_db):
+        from repro.partitioning import HashScheme, PartitioningConfig
+
+        old = PartitioningConfig(4)
+        old.add("customer", HashScheme(("custkey",), 4))
+        new = PartitioningConfig(4)
+        new.add("customer", HashScheme(("custkey",), 4))
+        new.add("orders", HashScheme(("orderkey",), 4))
+        plan = plan_migration(shop_db, old, new)
+        orders = plan.tables["orders"]
+        assert orders.copies_before == 0
+        assert orders.copies_moved == orders.copies_after
+
+    def test_dropped_table_counts_drops(self, shop_db):
+        from repro.partitioning import HashScheme, PartitioningConfig
+
+        old = PartitioningConfig(4)
+        old.add("customer", HashScheme(("custkey",), 4))
+        new = PartitioningConfig(4)
+        plan = plan_migration(shop_db, old, new)
+        customer = plan.tables["customer"]
+        assert customer.copies_after == 0
+        assert customer.copies_dropped == customer.copies_before
+
+    def test_mismatched_cluster_sizes_rejected(self, shop_db):
+        with pytest.raises(ValueError):
+            plan_migration(
+                shop_db, all_hashed_config(4), pref_chain_config(5)
+            )
+
+    def test_reuses_prematerialised_databases(self, shop_db):
+        old = all_hashed_config(4)
+        new = pref_chain_config(4)
+        old_dp = partition_database(shop_db, old)
+        new_dp = partition_database(shop_db, new)
+        plan = plan_migration(
+            shop_db, old, new, old_partitioned=old_dp, new_partitioned=new_dp
+        )
+        assert plan.copies_moved > 0

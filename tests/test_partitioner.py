@@ -1,0 +1,206 @@
+"""Tests for the partitioner, including the paper's Figure 2 example."""
+
+import pytest
+
+from helpers import pref_chain_config, ref_chain_config
+from repro.catalog import DatabaseSchema, DataType
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    RangeScheme,
+    ReplicatedScheme,
+    RoundRobinScheme,
+    check_pref_invariants,
+    partition_database,
+)
+from repro.storage import Database
+
+
+def figure2_database() -> Database:
+    schema = DatabaseSchema()
+    schema.create_table(
+        "lineitem",
+        [("linekey", DataType.INTEGER), ("orderkey", DataType.INTEGER)],
+        primary_key=["linekey"],
+    )
+    schema.create_table(
+        "orders",
+        [("orderkey", DataType.INTEGER), ("custkey", DataType.INTEGER)],
+        primary_key=["orderkey"],
+    )
+    schema.create_table(
+        "customer",
+        [("custkey", DataType.INTEGER), ("cname", DataType.VARCHAR)],
+        primary_key=["custkey"],
+    )
+    database = Database(schema)
+    database.load("lineitem", [(0, 1), (1, 4), (2, 1), (3, 2), (4, 3)])
+    database.load("orders", [(1, 1), (2, 1), (3, 2), (4, 1)])
+    database.load("customer", [(1, "A"), (2, "B"), (3, "C")])
+    return database
+
+
+class _ModuloHash(HashScheme):
+    """Figure 2 uses linekey % 3; pin placement for the exact comparison."""
+
+    def partition_of(self, key):
+        return key % self.partition_count
+
+
+def figure2_config() -> PartitioningConfig:
+    config = PartitioningConfig(3)
+    config.add("lineitem", _ModuloHash(("linekey",), 3))
+    config.add(
+        "orders",
+        PrefScheme(
+            "lineitem",
+            JoinPredicate.equi("orders", "orderkey", "lineitem", "orderkey"),
+        ),
+    )
+    config.add(
+        "customer",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+        ),
+    )
+    return config
+
+
+class TestFigure2:
+    """The worked example of paper Figure 2, reproduced exactly."""
+
+    def test_lineitem_placement(self):
+        partitioned = partition_database(figure2_database(), figure2_config())
+        lineitem = partitioned.table("lineitem")
+        assert lineitem.partitions[0].rows == [(0, 1), (3, 2)]
+        assert lineitem.partitions[1].rows == [(1, 4), (4, 3)]
+        assert lineitem.partitions[2].rows == [(2, 1)]
+
+    def test_orders_duplicated_for_locality(self):
+        partitioned = partition_database(figure2_database(), figure2_config())
+        orders = partitioned.table("orders")
+        assert sorted(orders.partitions[0].rows) == [(1, 1), (2, 1)]
+        assert sorted(orders.partitions[1].rows) == [(3, 2), (4, 1)]
+        assert orders.partitions[2].rows == [(1, 1)]
+        # orderkey=1 is duplicated (partitions 0 and 2).
+        assert orders.total_rows == 5
+        assert orders.canonical_row_count == 4
+        assert orders.duplicate_count == 1
+
+    def test_customer_duplicated_and_orphan_placed(self):
+        partitioned = partition_database(figure2_database(), figure2_config())
+        customer = partitioned.table("customer")
+        # Customer 1 has orders in every partition; customer 3 (no orders)
+        # is assigned round-robin to partition 0.
+        assert sorted(customer.partitions[0].rows) == [(1, "A"), (3, "C")]
+        assert sorted(customer.partitions[1].rows) == [(1, "A"), (2, "B")]
+        assert customer.partitions[2].rows == [(1, "A")]
+        assert customer.total_rows == 5
+        assert customer.canonical_row_count == 3
+
+    def test_has_partner_bits(self):
+        partitioned = partition_database(figure2_database(), figure2_config())
+        customer = partitioned.table("customer")
+        bits = {}
+        for partition in customer.partitions:
+            for index, row in enumerate(partition.rows):
+                bits.setdefault(row[0], set()).add(
+                    partition.has_partner[index]
+                )
+        assert bits[1] == {True}
+        assert bits[2] == {True}
+        assert bits[3] == {False}  # the orphan
+
+    def test_seed_table_resolution(self):
+        partitioned = partition_database(figure2_database(), figure2_config())
+        assert partitioned.table("orders").seed_table == "lineitem"
+        assert partitioned.table("customer").seed_table == "lineitem"
+        assert partitioned.table("lineitem").seed_table == "lineitem"
+
+    def test_invariants_hold_exactly(self):
+        database = figure2_database()
+        config = figure2_config()
+        check_pref_invariants(
+            partition_database(database, config), config, exact=True
+        )
+
+
+class TestPartitioner:
+    def test_pref_chain_invariants(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        check_pref_invariants(partitioned, config, exact=True)
+
+    def test_ref_chain_has_no_duplicates(self, shop_db):
+        config = ref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        check_pref_invariants(partitioned, config, exact=True)
+        # REF-like chains (referencing primary keys) never duplicate.
+        assert partitioned.table("orders").duplicate_count == 0
+        assert partitioned.table("lineitem").duplicate_count == 0
+
+    def test_replicated_table_on_every_node(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        nation = partitioned.table("nation")
+        for partition in nation.partitions:
+            assert partition.row_count == shop_db.table("nation").row_count
+        assert nation.canonical_row_count == shop_db.table("nation").row_count
+
+    def test_every_base_tuple_stored(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        for name in config.tables:
+            assert (
+                partitioned.table(name).canonical_row_count
+                == shop_db.table(name).row_count
+            )
+
+    def test_round_robin_scheme(self, shop_db):
+        config = PartitioningConfig(4)
+        config.add("nation", RoundRobinScheme(4))
+        partitioned = partition_database(shop_db, config)
+        sizes = [p.row_count for p in partitioned.table("nation").partitions]
+        assert sum(sizes) == 4
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_range_scheme(self, shop_db):
+        config = PartitioningConfig(3)
+        config.add("customer", RangeScheme("custkey", (5, 12)))
+        partitioned = partition_database(shop_db, config)
+        parts = partitioned.table("customer").partitions
+        assert all(row[0] <= 5 for row in parts[0].rows)
+        assert all(5 < row[0] <= 12 for row in parts[1].rows)
+        assert all(row[0] > 12 for row in parts[2].rows)
+
+    def test_effective_hash_for_ref_chain(self):
+        from helpers import shop_database
+
+        database = shop_database(seed=2, orphans=False)
+        config = ref_chain_config(4)
+        partitioned = partition_database(database, config)
+        assert partitioned.table("orders").effective_hash == ("custkey",)
+        # lineitem's chain maps custkey through orderkey: not expressible.
+        assert partitioned.table("lineitem").effective_hash is None
+
+    def test_effective_hash_disabled_by_orphans(self, shop_db):
+        config = ref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        # shop_db has orphan orders placed round-robin, off the hash grid.
+        assert partitioned.table("orders").effective_hash is None
+
+    def test_effective_hash_absent_with_duplicates(self, shop_db):
+        config = pref_chain_config(4)
+        partitioned = partition_database(shop_db, config)
+        # orders referencing lineitem on a non-unique key gets duplicates.
+        assert partitioned.table("orders").effective_hash is None
+
+    def test_partial_configuration(self, shop_db):
+        config = PartitioningConfig(4)
+        config.add("customer", HashScheme(("custkey",), 4))
+        partitioned = partition_database(shop_db, config)
+        assert partitioned.table_names == ("customer",)
+        assert not partitioned.has_table("orders")

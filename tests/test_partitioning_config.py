@@ -1,0 +1,120 @@
+"""Tests for partitioning configurations."""
+
+import pytest
+
+from helpers import pref_chain_config, shop_schema
+from repro.errors import InvalidConfigurationError
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    ReplicatedScheme,
+)
+
+
+class TestPartitioningConfig:
+    def test_seed_and_pref_tables(self):
+        config = pref_chain_config(4)
+        assert config.seed_tables() == ("lineitem",)
+        assert set(config.pref_tables()) == {"orders", "customer", "item"}
+
+    def test_chain_to_seed(self):
+        config = pref_chain_config(4)
+        chain = config.chain_to_seed("customer")
+        assert [referenced for referenced, _ in chain] == ["orders", "lineitem"]
+        assert config.seed_of("customer") == "lineitem"
+        assert config.seed_of("lineitem") == "lineitem"
+
+    def test_load_order_references_first(self):
+        config = pref_chain_config(4)
+        order = config.load_order()
+        assert order.index("lineitem") < order.index("orders")
+        assert order.index("orders") < order.index("customer")
+
+    def test_cycle_detected(self):
+        config = PartitioningConfig(2)
+        config.add(
+            "a", PrefScheme("b", JoinPredicate.equi("a", "x", "b", "y"))
+        )
+        config.add(
+            "b", PrefScheme("a", JoinPredicate.equi("b", "y", "a", "x"))
+        )
+        with pytest.raises(InvalidConfigurationError):
+            config.load_order()
+
+    def test_self_reference_rejected(self):
+        config = PartitioningConfig(2)
+        with pytest.raises(InvalidConfigurationError):
+            config.add(
+                "a", PrefScheme("a", JoinPredicate.equi("a", "x", "b", "y"))
+            )
+
+    def test_duplicate_assignment_rejected(self):
+        config = PartitioningConfig(2)
+        config.add("a", HashScheme(("x",), 2))
+        with pytest.raises(InvalidConfigurationError):
+            config.add("a", HashScheme(("x",), 2))
+
+    def test_partition_count_mismatch_rejected(self):
+        config = PartitioningConfig(2)
+        with pytest.raises(InvalidConfigurationError):
+            config.add("a", HashScheme(("x",), 3))
+
+    def test_validate_against_schema(self):
+        schema = shop_schema()
+        config = pref_chain_config(4)
+        config.validate(schema)  # should not raise
+
+    def test_validate_rejects_unknown_column(self):
+        schema = shop_schema()
+        config = PartitioningConfig(4)
+        config.add("customer", HashScheme(("zzz",), 4))
+        with pytest.raises(InvalidConfigurationError):
+            config.validate(schema)
+
+    def test_validate_rejects_pref_on_replicated(self):
+        schema = shop_schema()
+        config = PartitioningConfig(4)
+        config.add("nation", ReplicatedScheme(4))
+        config.add(
+            "customer",
+            PrefScheme(
+                "nation",
+                JoinPredicate.equi("customer", "nationkey", "nation", "nationkey"),
+            ),
+        )
+        with pytest.raises(InvalidConfigurationError):
+            config.validate(schema)
+
+    def test_validate_rejects_dangling_reference(self):
+        schema = shop_schema()
+        config = PartitioningConfig(4)
+        config.add(
+            "orders",
+            PrefScheme(
+                "customer",
+                JoinPredicate.equi("orders", "custkey", "customer", "custkey"),
+            ),
+        )
+        with pytest.raises(InvalidConfigurationError):
+            config.validate(schema)
+
+    def test_validate_rejects_wrong_predicate_tables(self):
+        schema = shop_schema()
+        config = PartitioningConfig(4)
+        config.add("customer", HashScheme(("custkey",), 4))
+        with pytest.raises(InvalidConfigurationError):
+            config.add(
+                "orders",
+                PrefScheme(
+                    "customer",
+                    JoinPredicate.equi("lineitem", "orderkey", "customer", "custkey"),
+                ),
+            )
+            config.validate(schema)
+
+    def test_describe_is_deterministic(self):
+        config = pref_chain_config(4)
+        assert config.describe() == pref_chain_config(4).describe()
+        assert "PREF on lineitem" in config.describe()

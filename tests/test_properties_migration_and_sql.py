@@ -1,0 +1,82 @@
+"""Property-based tests: migration accounting and SQL round trips."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import (
+    all_hashed_config,
+    assert_same_rows,
+    pref_chain_config,
+    ref_chain_config,
+    shop_database,
+)
+from repro.partitioning import partition_database, plan_migration
+from repro.query import Executor, LocalExecutor
+from repro.sql import sql_to_plan
+
+CONFIGS = [all_hashed_config, pref_chain_config, ref_chain_config]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=300),
+    old_index=st.integers(min_value=0, max_value=2),
+    new_index=st.integers(min_value=0, max_value=2),
+    n=st.integers(min_value=2, max_value=6),
+)
+def test_migration_accounting_invariants(seed, old_index, new_index, n):
+    """kept + moved == target copies; identity migrations are free."""
+    database = shop_database(seed=seed, customers=10, orders=25, lineitems=60)
+    old_config = CONFIGS[old_index](n)
+    new_config = CONFIGS[new_index](n)
+    plan = plan_migration(database, old_config, new_config)
+    for migration in plan.tables.values():
+        assert migration.copies_kept + migration.copies_moved == migration.copies_after
+        assert migration.copies_kept + migration.copies_dropped == migration.copies_before
+        assert migration.copies_kept >= 0
+    if old_index == new_index:
+        assert plan.copies_moved == 0
+
+
+AGG = st.sampled_from(
+    ["COUNT(*) AS v", "SUM(o.total) AS v", "MIN(o.total) AS v", "MAX(o.total) AS v"]
+)
+
+
+@st.composite
+def sql_queries(draw):
+    agg = draw(AGG)
+    group = draw(st.sampled_from(["", " GROUP BY o.custkey"]))
+    threshold = draw(st.integers(min_value=0, max_value=100))
+    join = draw(
+        st.sampled_from(
+            [
+                "",
+                " JOIN customer c ON o.custkey = c.custkey",
+                " JOIN lineitem l ON o.orderkey = l.orderkey",
+            ]
+        )
+    )
+    select = f"SELECT {'o.custkey, ' if group else ''}{agg}"
+    where = f" WHERE o.total >= {threshold}"
+    order = " ORDER BY v DESC, custkey" if group else ""
+    return f"{select} FROM orders o{join}{where}{group}{order}"
+
+
+@settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+@given(
+    query=sql_queries(),
+    seed=st.integers(min_value=0, max_value=200),
+    config_index=st.integers(min_value=0, max_value=2),
+    n=st.integers(min_value=1, max_value=6),
+)
+def test_random_sql_matches_reference(query, seed, config_index, n):
+    database = shop_database(seed=seed, customers=10, orders=30, lineitems=60)
+    plan = sql_to_plan(query, database.schema)
+    partitioned = partition_database(database, CONFIGS[config_index](n))
+    assert_same_rows(
+        Executor(partitioned).execute(plan).rows,
+        LocalExecutor(database).execute(plan).rows,
+    )

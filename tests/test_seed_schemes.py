@@ -1,0 +1,71 @@
+"""Seed-scheme choices in the design algorithms (Definition 1 generality)."""
+
+import pytest
+
+from helpers import shop_database
+from repro.design import SchemaDrivenDesigner
+from repro.errors import DesignError
+from repro.partitioning import SchemeKind, check_pref_invariants, partition_database
+
+
+@pytest.fixture(scope="module")
+def database():
+    return shop_database(seed=13)
+
+
+@pytest.mark.parametrize(
+    "seed_scheme, kind",
+    [
+        ("hash", SchemeKind.HASH),
+        ("range", SchemeKind.RANGE),
+        ("round_robin", SchemeKind.ROUND_ROBIN),
+    ],
+)
+def test_seed_scheme_selected(database, seed_scheme, kind):
+    result = SchemaDrivenDesigner(database, 4).design(
+        replicate=["nation"], seed_scheme=seed_scheme
+    )
+    seed = result.seeds[0]
+    assert result.config.scheme_of(seed).kind is kind
+    partitioned = partition_database(database, result.config)
+    check_pref_invariants(partitioned, result.config, exact=True)
+
+
+def test_range_boundaries_split_data(database):
+    result = SchemaDrivenDesigner(database, 4).design(
+        replicate=["nation"], seed_scheme="range"
+    )
+    seed = result.seeds[0]
+    partitioned = partition_database(database, result.config)
+    sizes = [p.row_count for p in partitioned.table(seed).partitions]
+    # Quantile boundaries give a roughly even split.
+    assert max(sizes) <= 2 * max(1, min(s for s in sizes if s) )
+
+
+def test_unknown_seed_scheme_rejected(database):
+    with pytest.raises(DesignError):
+        SchemaDrivenDesigner(database, 4).design(
+            replicate=["nation"], seed_scheme="mystery"
+        )
+
+
+def test_queries_correct_under_range_seed(database):
+    from helpers import assert_same_rows
+    from repro.query import Executor, LocalExecutor, Query
+    from repro.query.expressions import col
+
+    result = SchemaDrivenDesigner(database, 4).design(
+        replicate=["nation"], seed_scheme="range"
+    )
+    partitioned = partition_database(database, result.config)
+    plan = (
+        Query.scan("customer", alias="c")
+        .join(Query.scan("orders", alias="o"), on=[("c.custkey", "o.custkey")])
+        .aggregate(group_by=["c.cname"], aggregates=[("sum", col("o.total"), "t")])
+        .order_by(["c.cname"])
+        .plan()
+    )
+    assert_same_rows(
+        Executor(partitioned).execute(plan).rows,
+        LocalExecutor(database).execute(plan).rows,
+    )

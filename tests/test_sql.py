@@ -1,0 +1,162 @@
+"""SQL front end: lexer, parser, planner, end-to-end execution."""
+
+import pytest
+
+from helpers import assert_same_rows, pref_chain_config
+from repro.errors import SqlError, SqlSyntaxError
+from repro.partitioning import partition_database
+from repro.query import Executor, LocalExecutor
+from repro.sql import parse_select, sql_to_plan, tokenize
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT foo FROM bar")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+            TokenType.KEYWORD,
+            TokenType.IDENTIFIER,
+        ]
+        assert tokens[0].value == "select"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 0.125")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "0.125"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_symbols(self):
+        tokens = tokenize("a <= b <> c != d")
+        symbols = [t.value for t in tokens[:-1] if t.type is TokenType.SYMBOL]
+        assert symbols == ["<=", "<>", "!="]
+
+    def test_qualified_names_tokenise(self):
+        tokens = tokenize("t1.x")
+        assert [t.value for t in tokens[:-1]] == ["t1", ".", "x"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT $")
+
+
+class TestParser:
+    def test_basic_select(self):
+        statement = parse_select("SELECT a, b FROM t")
+        assert len(statement.items) == 2
+        assert statement.base.table == "t"
+
+    def test_aggregates(self):
+        statement = parse_select(
+            "SELECT COUNT(*) AS n, SUM(x) AS s, COUNT(DISTINCT y) AS d FROM t"
+        )
+        funcs = [item.aggregate for item in statement.items]
+        assert funcs == ["count", "sum", "count_distinct"]
+
+    def test_joins(self):
+        statement = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w"
+        )
+        assert [j.kind for j in statement.joins] == ["inner", "left"]
+
+    def test_join_requires_on(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT * FROM a JOIN b")
+
+    def test_where_between_in_null(self):
+        statement = parse_select(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN (1, 2) "
+            "AND c IS NOT NULL"
+        )
+        assert statement.where is not None
+
+    def test_group_having_order_limit(self):
+        statement = parse_select(
+            "SELECT a, COUNT(*) AS n FROM t GROUP BY a HAVING n > 1 "
+            "ORDER BY n DESC, a LIMIT 10"
+        )
+        assert statement.group_by == ["a"]
+        assert statement.having is not None
+        assert statement.order_by[0].ascending is False
+        assert statement.order_by[1].ascending is True
+        assert statement.limit == 10
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT a FROM t banana!")
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+
+class TestPlanner:
+    def test_unknown_table_rejected(self, shop_db):
+        with pytest.raises(SqlError):
+            sql_to_plan("SELECT * FROM nonexistent", shop_db.schema)
+
+    def test_duplicate_alias_rejected(self, shop_db):
+        with pytest.raises(SqlError):
+            sql_to_plan(
+                "SELECT * FROM orders o, customer o", shop_db.schema
+            )
+
+    def test_filter_pushdown(self, shop_db):
+        plan = sql_to_plan(
+            "SELECT o.orderkey FROM orders o, customer c "
+            "WHERE o.custkey = c.custkey AND c.cname = 'cust1'",
+            shop_db.schema,
+        )
+        text = plan.explain()
+        # The customer filter must sit below the join (pushdown).
+        join_line = next(
+            i for i, line in enumerate(text.splitlines()) if "Join" in line
+        )
+        filter_line = next(
+            i for i, line in enumerate(text.splitlines()) if "cust1" in line
+        )
+        assert filter_line > join_line
+
+    def test_comma_join_connected_by_where(self, shop_db):
+        plan = sql_to_plan(
+            "SELECT COUNT(*) AS n FROM orders o, lineitem l "
+            "WHERE o.orderkey = l.orderkey",
+            shop_db.schema,
+        )
+        assert "Join" in plan.explain()
+        assert "cross" not in plan.explain()
+
+
+QUERIES = [
+    "SELECT COUNT(*) AS n FROM lineitem l",
+    "SELECT o.custkey, SUM(o.total) AS s FROM orders o GROUP BY o.custkey "
+    "ORDER BY s DESC LIMIT 5",
+    "SELECT c.cname, COUNT(*) AS n FROM customer c JOIN orders o "
+    "ON c.custkey = o.custkey GROUP BY c.cname ORDER BY c.cname",
+    "SELECT n.nname, COUNT(*) AS cnt FROM customer c, nation n "
+    "WHERE c.nationkey = n.nationkey GROUP BY n.nname ORDER BY n.nname",
+    "SELECT DISTINCT o.custkey FROM orders o ORDER BY custkey",
+    "SELECT i.iname, SUM(l.qty) AS q FROM lineitem l JOIN item i "
+    "ON l.itemkey = i.itemkey WHERE l.qty BETWEEN 2 AND 8 GROUP BY i.iname "
+    "HAVING q > 5 ORDER BY q DESC, i.iname LIMIT 10",
+    "SELECT c.cname FROM customer c LEFT JOIN orders o "
+    "ON c.custkey = o.custkey WHERE o.orderkey IS NULL ORDER BY c.cname",
+    "SELECT COUNT(DISTINCT l.itemkey) AS items FROM lineitem l "
+    "WHERE l.qty > 3",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_sql_end_to_end(shop_db, query):
+    plan = sql_to_plan(query, shop_db.schema)
+    partitioned = partition_database(shop_db, pref_chain_config(4))
+    expected = LocalExecutor(shop_db).execute(plan).rows
+    actual = Executor(partitioned).execute(plan).rows
+    assert_same_rows(actual, expected)

@@ -1,0 +1,64 @@
+"""Tests for the packed bitmap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import Bitmap
+
+
+class TestBitmap:
+    def test_append_and_read(self):
+        bitmap = Bitmap()
+        bitmap.append(True)
+        bitmap.append(False)
+        bitmap.append(True)
+        assert list(bitmap) == [True, False, True]
+        assert len(bitmap) == 3
+
+    def test_zeros(self):
+        bitmap = Bitmap.zeros(20)
+        assert len(bitmap) == 20
+        assert bitmap.count() == 0
+
+    def test_setitem(self):
+        bitmap = Bitmap.zeros(10)
+        bitmap[3] = True
+        bitmap[9] = True
+        assert bitmap[3] and bitmap[9]
+        assert bitmap.count() == 2
+        bitmap[3] = False
+        assert not bitmap[3]
+        assert bitmap.count() == 1
+
+    def test_negative_index(self):
+        bitmap = Bitmap([True, False, True])
+        assert bitmap[-1] is True
+        assert bitmap[-2] is False
+
+    def test_out_of_range(self):
+        bitmap = Bitmap([True])
+        with pytest.raises(IndexError):
+            bitmap[1]
+        with pytest.raises(IndexError):
+            bitmap[-2] = True
+
+    def test_extend_and_equality(self):
+        first = Bitmap()
+        first.extend([True, True, False])
+        second = Bitmap([True, True, False])
+        assert first == second
+        assert first != Bitmap([True, True, True])
+
+    def test_crosses_byte_boundaries(self):
+        pattern = [i % 3 == 0 for i in range(100)]
+        bitmap = Bitmap(pattern)
+        assert list(bitmap) == pattern
+        assert bitmap.count() == sum(pattern)
+
+    @given(st.lists(st.booleans(), max_size=300))
+    def test_roundtrip(self, bits):
+        bitmap = Bitmap(bits)
+        assert list(bitmap) == bits
+        assert len(bitmap) == len(bits)
+        assert bitmap.count() == sum(bits)

@@ -1,0 +1,117 @@
+"""Tests for partitions, partition indexes and partitioned tables."""
+
+import pytest
+
+from repro.catalog import Column, DataType, TableSchema
+from repro.errors import StorageError
+from repro.partitioning import HashScheme
+from repro.storage import PartitionedDatabase, PartitionedTable, PartitionIndex
+
+
+def make_table(n: int = 3) -> PartitionedTable:
+    schema = TableSchema(
+        "t",
+        [Column("k", DataType.INTEGER), Column("v", DataType.VARCHAR)],
+        primary_key=["k"],
+    )
+    return PartitionedTable(schema, HashScheme(("k",), n), n)
+
+
+class TestPartition:
+    def test_append_tracks_bitmaps(self):
+        table = make_table()
+        partition = table.partitions[0]
+        partition.append((1, "a"), source_id=0, duplicate=False, has_partner=True)
+        partition.append((1, "a"), source_id=0, duplicate=True, has_partner=True)
+        partition.append((2, "b"), source_id=1, duplicate=False, has_partner=False)
+        assert partition.row_count == 3
+        assert partition.duplicate_count == 1
+        assert list(partition.canonical_rows()) == [(1, "a"), (2, "b")]
+
+
+class TestPartitionIndex:
+    def test_add_and_lookup(self):
+        index = PartitionIndex(("k",))
+        index.add(5, 0)
+        index.add(5, 2)
+        index.add(7, 1)
+        assert index.partitions_of(5) == frozenset({0, 2})
+        assert index.partitions_of(7) == frozenset({1})
+        assert index.partitions_of(99) == frozenset()
+        assert 5 in index and 99 not in index
+        assert len(index) == 2
+
+    def test_add_all(self):
+        index = PartitionIndex(("k",))
+        index.add_all([1, 2, 1], 3)
+        assert index.partitions_of(1) == frozenset({3})
+        assert dict(index.items())[2] == frozenset({3})
+
+    def test_as_mapping_is_snapshot(self):
+        index = PartitionIndex(("k",))
+        index.add(1, 0)
+        snapshot = index.as_mapping()
+        index.add(1, 1)
+        assert snapshot[1] == frozenset({0})
+
+
+class TestPartitionedTable:
+    def test_row_accounting(self):
+        table = make_table()
+        table.partitions[0].append((1, "a"), 0)
+        table.partitions[1].append((1, "a"), 0, duplicate=True)
+        table.partitions[2].append((2, "b"), 1)
+        assert table.total_rows == 3
+        assert table.duplicate_count == 1
+        assert table.canonical_row_count == 2
+        assert table.max_partition_rows == 1
+        assert sorted(table.canonical_rows()) == [(1, "a"), (2, "b")]
+
+    def test_partition_index_built_and_cached(self):
+        table = make_table()
+        table.partitions[0].append((1, "a"), 0)
+        table.partitions[2].append((1, "a"), 0, duplicate=True)
+        index = table.partition_index(["k"])
+        assert index.partitions_of(1) == frozenset({0, 2})
+        assert table.partition_index(["k"]) is index
+        table.invalidate_indexes()
+        assert table.partition_index(["k"]) is not index
+
+    def test_source_id_allocation(self):
+        table = make_table()
+        assert table.allocate_source_id() == 0
+        assert table.allocate_source_id() == 1
+
+    def test_byte_size(self):
+        table = make_table()
+        table.partitions[0].append((1, "a"), 0)
+        assert table.byte_size == table.schema.row_byte_width
+
+
+class TestPartitionedDatabase:
+    def test_mismatched_counts_rejected(self):
+        database = PartitionedDatabase(4)
+        with pytest.raises(StorageError):
+            database.add_table(make_table(3))
+
+    def test_duplicate_table_rejected(self):
+        database = PartitionedDatabase(3)
+        database.add_table(make_table(3))
+        with pytest.raises(StorageError):
+            database.add_table(make_table(3))
+
+    def test_redundancy_zero_without_duplicates(self):
+        database = PartitionedDatabase(3)
+        table = make_table(3)
+        table.partitions[0].append((1, "a"), 0)
+        table.partitions[1].append((2, "b"), 1)
+        database.add_table(table)
+        assert database.data_redundancy() == 0.0
+
+    def test_redundancy_counts_duplicates(self):
+        database = PartitionedDatabase(3)
+        table = make_table(3)
+        table.partitions[0].append((1, "a"), 0)
+        table.partitions[1].append((1, "a"), 0, duplicate=True)
+        database.add_table(table)
+        assert database.data_redundancy() == pytest.approx(1.0)

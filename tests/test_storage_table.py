@@ -1,0 +1,66 @@
+"""Tests for unpartitioned tables and databases."""
+
+import pytest
+
+from helpers import shop_database, shop_schema
+from repro.errors import RowShapeError, UnknownObjectError
+from repro.storage import Database, Table
+
+
+class TestTable:
+    def test_append_and_iterate(self, shop_db):
+        table = shop_db.table("customer")
+        assert table.row_count == 20
+        assert len(list(table)) == 20
+        assert table.name == "customer"
+
+    def test_validation_catches_arity(self):
+        database = Database(shop_schema())
+        with pytest.raises(RowShapeError):
+            database.table("nation").append((1,), validate=True)
+
+    def test_validation_catches_types(self):
+        database = Database(shop_schema())
+        with pytest.raises(RowShapeError):
+            database.table("nation").append((1, 42), validate=True)
+        database.table("nation").append((1, "ok"), validate=True)
+
+    def test_column_values(self, shop_db):
+        keys = shop_db.table("customer").column_values("custkey")
+        assert keys == list(range(20))
+
+    def test_key_values_scalar_vs_tuple(self, shop_db):
+        lineitem = shop_db.table("lineitem")
+        scalars = lineitem.key_values(["orderkey"])
+        assert isinstance(scalars[0], int)
+        tuples = lineitem.key_values(["orderkey", "itemkey"])
+        assert isinstance(tuples[0], tuple) and len(tuples[0]) == 2
+
+    def test_histogram(self, shop_db):
+        hist = shop_db.table("lineitem").histogram(["orderkey"])
+        assert hist.total_count == shop_db.table("lineitem").row_count
+
+    def test_byte_size(self, shop_db):
+        table = shop_db.table("nation")
+        assert table.byte_size == table.row_count * table.schema.row_byte_width
+
+
+class TestDatabase:
+    def test_total_rows(self, shop_db):
+        expected = sum(t.row_count for t in shop_db.tables.values())
+        assert shop_db.total_rows == expected
+
+    def test_table_sizes(self, shop_db):
+        sizes = shop_db.table_sizes()
+        assert sizes["customer"] == 20
+        assert sizes["lineitem"] == 200
+
+    def test_unknown_table(self, shop_db):
+        with pytest.raises(UnknownObjectError):
+            shop_db.table("nope")
+
+    def test_load(self):
+        database = shop_database(seed=1, customers=5, orders=5, lineitems=5)
+        before = database.table("item").row_count
+        database.load("item", [(999, "new item")])
+        assert database.table("item").row_count == before + 1

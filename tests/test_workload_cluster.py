@@ -1,0 +1,103 @@
+"""Tests for the WorkloadCluster facade and the OLTP design mode."""
+
+import pytest
+
+from helpers import assert_same_rows, shop_database
+from repro.cluster import WorkloadCluster
+from repro.design import QuerySpec, SchemaDrivenDesigner
+from repro.errors import DesignError
+from repro.partitioning import JoinPredicate, partition_database
+from repro.query import LocalExecutor
+
+
+def make_workload():
+    return [
+        QuerySpec.make(
+            "q_lo",
+            [JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey")],
+        ),
+        QuerySpec.make(
+            "q_li",
+            [JoinPredicate.equi("lineitem", "itemkey", "item", "itemkey")],
+        ),
+        QuerySpec.make(
+            "q_oc",
+            [JoinPredicate.equi("orders", "custkey", "customer", "custkey")],
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    database = shop_database(seed=9)
+    return database, WorkloadCluster.design(
+        database, make_workload(), 4, replicate=["nation"]
+    )
+
+
+class TestWorkloadCluster:
+    def test_fragments_materialised(self, cluster):
+        _db, wc = cluster
+        assert len(wc.clusters) == len(wc.design.fragments)
+        assert all(c.node_count == 4 for c in wc.clusters)
+
+    def test_sql_routes_and_matches_reference(self, cluster):
+        database, wc = cluster
+        queries = [
+            "SELECT COUNT(*) AS n FROM lineitem l JOIN orders o "
+            "ON l.orderkey = o.orderkey",
+            "SELECT i.iname, COUNT(*) AS n FROM lineitem l JOIN item i "
+            "ON l.itemkey = i.itemkey GROUP BY i.iname ORDER BY i.iname",
+            "SELECT COUNT(*) AS n FROM orders o JOIN customer c "
+            "ON o.custkey = c.custkey",
+        ]
+        local = LocalExecutor(database)
+        from repro.sql import sql_to_plan
+
+        for query in queries:
+            plan = sql_to_plan(query, database.schema)
+            assert_same_rows(wc.sql(query).rows, local.execute(plan).rows)
+
+    def test_routing_prefers_low_redundancy_fragment(self, cluster):
+        _db, wc = cluster
+        # Routing by tables must return a valid fragment index.
+        index = wc.route_tables({"lineitem", "orders"})
+        assert 0 <= index < len(wc.clusters)
+
+    def test_route_unknown_tables_raises(self, cluster):
+        _db, wc = cluster
+        with pytest.raises(Exception):
+            wc.route_tables({"not_a_table"})
+
+    def test_storage_accounting(self, cluster):
+        _db, wc = cluster
+        assert wc.total_stored_rows() > 0
+        assert wc.data_redundancy() >= 0
+
+    def test_explain_names_fragment(self, cluster):
+        _db, wc = cluster
+        text = wc.explain(
+            "SELECT COUNT(*) AS n FROM lineitem l JOIN orders o "
+            "ON l.orderkey = o.orderkey"
+        )
+        assert text.startswith("-- routed to fragment")
+
+
+class TestOltpDesign:
+    def test_no_duplicates_anywhere(self):
+        database = shop_database(seed=9)
+        result = SchemaDrivenDesigner(database, 4).design_for_oltp(
+            replicate=["nation"]
+        )
+        partitioned = partition_database(database, result.config)
+        for table in result.config.tables:
+            if table == "nation":
+                continue
+            assert partitioned.table(table).duplicate_count == 0, table
+
+    def test_locality_still_positive(self):
+        database = shop_database(seed=9)
+        result = SchemaDrivenDesigner(database, 4).design_for_oltp(
+            replicate=["nation"]
+        )
+        assert result.data_locality > 0.5

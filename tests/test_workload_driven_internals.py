@@ -1,0 +1,147 @@
+"""Internals of the WD algorithm: units, merging, routing."""
+
+import pytest
+
+from helpers import shop_database
+from repro.design import (
+    GraphEdge,
+    QuerySpec,
+    RedundancyEstimator,
+    WorkloadDrivenDesigner,
+)
+from repro.design.workload_driven import _Unit, route_to_config
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+)
+
+
+def edge(a, ca, b, cb, weight=1):
+    return GraphEdge(JoinPredicate.equi(a, ca, b, cb), weight)
+
+
+class TestUnit:
+    def test_merge_dedups_edges(self):
+        e1 = edge("a", "x", "b", "y")
+        e2 = edge("b", "y", "c", "z")
+        first = _Unit(frozenset({"a", "b"}), (e1,), ("q1",))
+        second = _Unit(frozenset({"b", "c"}), (e1, e2), ("q2",))
+        merged = first.merged_with(second)
+        assert len(merged.edges) == 2
+        assert merged.queries == ("q1", "q2")
+        assert merged.tables == frozenset({"a", "b", "c"})
+
+    def test_acyclicity(self):
+        e1 = edge("a", "x", "b", "y")
+        e2 = edge("b", "y", "c", "z")
+        e3 = edge("a", "x", "c", "z")
+        tree = _Unit(frozenset({"a", "b", "c"}), (e1, e2), ("q",))
+        cycle = _Unit(frozenset({"a", "b", "c"}), (e1, e2, e3), ("q",))
+        assert tree.is_acyclic()
+        assert not cycle.is_acyclic()
+
+    def test_containment(self):
+        e1 = edge("a", "x", "b", "y")
+        e2 = edge("b", "y", "c", "z")
+        small = _Unit(frozenset({"a", "b"}), (e1,), ("q1",))
+        big = _Unit(frozenset({"a", "b", "c"}), (e1, e2), ("q2",))
+        assert big.contains(small)
+        assert not small.contains(big)
+
+
+class TestMergePhases:
+    def test_identical_queries_collapse(self, shop_db):
+        predicate = JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey")
+        workload = [
+            QuerySpec.make(f"q{i}", [predicate]) for i in range(5)
+        ]
+        result = WorkloadDrivenDesigner(shop_db, 4).design(workload)
+        assert len(result.fragments) == 1
+        assert len(result.fragments[0].queries) == 5
+
+    def test_disjoint_queries_may_stay_separate(self, shop_db):
+        workload = [
+            QuerySpec.make(
+                "q_lo",
+                [JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey")],
+            ),
+            QuerySpec.make(
+                "q_cn",
+                [JoinPredicate.equi("customer", "nationkey", "nation", "nationkey")],
+            ),
+        ]
+        result = WorkloadDrivenDesigner(shop_db, 4).design(workload)
+        # Sharing no tables, a merge is possible but only taken when the
+        # estimate shrinks; either way both queries stay fully local.
+        assert result.data_locality == pytest.approx(1.0)
+        names = {q for f in result.fragments for q in f.queries}
+        assert names == {"q_lo", "q_cn"}
+
+    def test_conflicting_cycles_stay_separate(self, shop_db):
+        # Two queries whose union of MASTs would be cyclic must not merge.
+        workload = [
+            QuerySpec.make(
+                "q1",
+                [
+                    JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey"),
+                    JoinPredicate.equi("orders", "custkey", "customer", "custkey"),
+                ],
+            ),
+            QuerySpec.make(
+                "q2",
+                [
+                    JoinPredicate.equi("lineitem", "linekey", "customer", "custkey"),
+                    JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+                ],
+            ),
+        ]
+        result = WorkloadDrivenDesigner(shop_db, 4).design(workload)
+        for fragment in result.fragments:
+            graph_tables = {t: 1 for t in fragment.tables}
+            from repro.design.graph import SchemaGraph
+
+            assert SchemaGraph(graph_tables, fragment.edges).is_acyclic()
+
+
+class TestRouting:
+    def make_configs(self):
+        first = PartitioningConfig(4)
+        first.add("orders", HashScheme(("orderkey",), 4))
+        first.add(
+            "customer",
+            PrefScheme(
+                "orders",
+                JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+            ),
+        )
+        second = PartitioningConfig(4)
+        second.add("customer", HashScheme(("custkey",), 4))
+        return [first, second]
+
+    def test_routes_to_covering_config(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        configs = self.make_configs()
+        assert route_to_config({"orders", "customer"}, configs, estimator) == 0
+
+    def test_prefers_minimal_redundancy(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        configs = self.make_configs()
+        # customer alone: config 1 stores it duplicate-free.
+        assert route_to_config({"customer"}, configs, estimator) == 1
+
+    def test_uncovered_tables_unroutable(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        configs = self.make_configs()
+        assert route_to_config({"item"}, configs, estimator) is None
+
+    def test_replicated_tables_ignored(self, shop_db):
+        estimator = RedundancyEstimator(shop_db, 4)
+        configs = self.make_configs()
+        assert (
+            route_to_config(
+                {"customer", "nation"}, configs, estimator, replicated=["nation"]
+            )
+            == 1
+        )

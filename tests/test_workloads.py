@@ -1,0 +1,150 @@
+"""Tests for the TPC-H and TPC-DS workload packages."""
+
+import pytest
+
+from repro.design import QuerySpec
+from repro.query import LocalExecutor
+from repro.workloads import tpch, tpcds
+
+
+class TestTpchSchema:
+    def test_eight_tables(self):
+        schema = tpch.tpch_schema()
+        assert len(schema.table_names) == 8
+        assert len(schema.foreign_keys) == 8
+
+    def test_composite_fk_lineitem_partsupp(self):
+        schema = tpch.tpch_schema()
+        fk = next(f for f in schema.foreign_keys if f.name == "fk_lineitem_partsupp")
+        assert fk.source_columns == ("l_partkey", "l_suppkey")
+
+    def test_scaled_rows(self):
+        rows = tpch.scaled_rows(0.01)
+        assert rows["region"] == 5
+        assert rows["nation"] == 25
+        assert rows["customer"] == 1500
+        assert rows["lineitem"] == 60_000
+
+
+class TestTpchDatagen:
+    def test_deterministic(self):
+        first = tpch.generate_tpch(0.001, seed=42)
+        second = tpch.generate_tpch(0.001, seed=42)
+        assert first.table("orders").rows == second.table("orders").rows
+
+    def test_referential_integrity(self, tiny_tpch):
+        customers = set(tiny_tpch.table("customer").column_values("c_custkey"))
+        for custkey in tiny_tpch.table("orders").column_values("o_custkey"):
+            assert custkey in customers
+        orders = set(tiny_tpch.table("orders").column_values("o_orderkey"))
+        partsupp = set(
+            tiny_tpch.table("partsupp").key_values(["ps_partkey", "ps_suppkey"])
+        )
+        lineitem = tiny_tpch.table("lineitem")
+        for row in lineitem.rows:
+            assert row[0] in orders
+            assert (row[2], row[3]) in partsupp
+
+    def test_one_third_of_customers_have_no_orders(self, tiny_tpch):
+        customers = set(tiny_tpch.table("customer").column_values("c_custkey"))
+        ordering = set(tiny_tpch.table("orders").column_values("o_custkey"))
+        assert all(key % 3 != 0 for key in ordering)
+        assert len(customers - ordering) >= len(customers) // 4
+
+    def test_partsupp_unique_keys(self, tiny_tpch):
+        keys = tiny_tpch.table("partsupp").key_values(["ps_partkey", "ps_suppkey"])
+        assert len(keys) == len(set(keys))
+
+
+class TestTpchQueries:
+    def test_all_22_defined(self):
+        assert len(tpch.ALL_QUERIES) == 22
+        assert set(tpch.RUNTIME_EXCLUDED) == {"Q13", "Q22"}
+        assert len(tpch.runtime_queries()) == 20
+
+    @pytest.mark.parametrize("name", sorted(tpch.ALL_QUERIES))
+    def test_query_executes_locally(self, tiny_tpch, name):
+        plan = tpch.ALL_QUERIES[name]()
+        result = LocalExecutor(tiny_tpch).execute(plan)
+        assert result.columns  # produced a schema and ran to completion
+
+    def test_specs_extractable(self, tiny_tpch):
+        for name, build in tpch.ALL_QUERIES.items():
+            spec = QuerySpec.from_plan(name, build(), tiny_tpch.schema)
+            assert spec.tables
+
+
+class TestTpcdsSchema:
+    def test_twenty_four_tables(self):
+        schema = tpcds.tpcds_schema()
+        assert len(schema.table_names) == 24
+        assert len(tpcds.FACT_TABLES) == 7
+
+    def test_returns_reference_sales_composite(self):
+        schema = tpcds.tpcds_schema()
+        fk = next(f for f in schema.foreign_keys if f.name == "fk_sr_ss")
+        assert fk.source_columns == ("sr_ticket_number", "sr_item_sk")
+        assert fk.target_table == "store_sales"
+
+    def test_inventory_is_biggest(self):
+        assert max(tpcds.BASE_ROWS, key=tpcds.BASE_ROWS.get) == "inventory"
+
+
+class TestTpcdsDatagen:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return tpcds.generate_tpcds(scale_factor=0.001, seed=2)
+
+    def test_deterministic(self):
+        first = tpcds.generate_tpcds(0.0005, seed=9)
+        second = tpcds.generate_tpcds(0.0005, seed=9)
+        assert (
+            first.table("store_sales").rows == second.table("store_sales").rows
+        )
+
+    def test_skewed_item_references(self, db):
+        hist = db.table("store_sales").histogram(["ss_item_sk"])
+        counts = sorted(hist.frequencies.values(), reverse=True)
+        # Zipf skew: the hottest item is referenced far more than median.
+        assert counts[0] > 3 * counts[len(counts) // 2]
+
+    def test_returns_reference_existing_sales(self, db):
+        sales = set(
+            db.table("store_sales").key_values(["ss_ticket_number", "ss_item_sk"])
+        )
+        for row in db.table("store_returns").rows:
+            assert (row[6], row[1]) in sales
+
+    def test_primary_keys_unique(self, db):
+        for table, key in [
+            ("store_sales", ["ss_ticket_number", "ss_item_sk"]),
+            ("inventory", ["inv_date_sk", "inv_item_sk", "inv_warehouse_sk"]),
+            ("web_sales", ["ws_order_number", "ws_item_sk"]),
+        ]:
+            keys = db.table(table).key_values(key)
+            assert len(keys) == len(set(keys))
+
+
+class TestTpcdsWorkload:
+    def test_99_queries_expand_to_spja_blocks(self):
+        assert len(tpcds.QUERY_BLOCKS) == 99
+        workload = tpcds.tpcds_workload()
+        # Multi-channel queries contribute one spec per SPJA block.
+        assert len(workload) > 99
+        names = {spec.name.split("_")[0] for spec in workload}
+        assert names == {f"q{i}" for i in range(1, 100)}
+        with_edges = [spec for spec in workload if spec.predicates]
+        assert len(with_edges) >= 140
+
+    def test_edges_reference_real_columns(self):
+        schema = tpcds.tpcds_schema()
+        for shorthand, predicate in tpcds.EDGES.items():
+            for table in predicate.tables:
+                table_schema = schema.table(table)
+                for column in predicate.columns_of(table):
+                    assert table_schema.has_column(column), (shorthand, column)
+
+    def test_every_query_edge_known(self):
+        for number, shorthands in tpcds.QUERY_EDGES.items():
+            for shorthand in shorthands:
+                assert shorthand in tpcds.EDGES, (number, shorthand)
