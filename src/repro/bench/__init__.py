@@ -11,6 +11,7 @@ from repro.bench.harness import (
     estimation_accuracy,
     materialize_variant,
     measure_variant,
+    operator_breakdown,
     run_workload,
     scaleout_redundancy,
     tpcds_variants,
@@ -30,6 +31,7 @@ __all__ = [
     "format_table",
     "materialize_variant",
     "measure_variant",
+    "operator_breakdown",
     "run_workload",
     "scaleout_redundancy",
     "tpcds_variants",

@@ -21,7 +21,7 @@ from repro.design.baselines import (
     sd_individual_stars,
 )
 from repro.design.graph import SchemaGraph
-from repro.design.locality import config_data_locality, satisfied_edges
+from repro.design.locality import satisfied_edges
 from repro.design.schema_driven import SchemaDrivenDesigner
 from repro.design.workload import QuerySpec
 from repro.design.workload_driven import WorkloadDrivenDesigner
@@ -31,7 +31,7 @@ from repro.partitioning.partitioner import partition_database
 from repro.partitioning.scheme import HashScheme, ReplicatedScheme
 from repro.query.cost import CostParameters
 from repro.query.executor import Executor
-from repro.query.plan import PlanNode, Scan
+from repro.query.plan import PlanNode
 from repro.storage.partitioned import PartitionedDatabase
 from repro.storage.table import Database
 
@@ -304,6 +304,9 @@ class QueryRun:
     shuffles: int
     max_node_work: float
     stats: object = None
+    #: Per-operator × per-node breakdown (engine OperatorStats), in plan
+    #: post-order.
+    operators: list = field(default_factory=list)
 
 
 def materialize_variant(
@@ -342,12 +345,18 @@ def run_workload(
     queries: Mapping[str, PlanNode],
     cost: CostParameters | None = None,
     optimizations: bool = True,
+    backend=None,
 ) -> dict[str, QueryRun]:
-    """Execute *queries* under *variant*, returning simulated runtimes."""
+    """Execute *queries* under *variant*, returning simulated runtimes.
+
+    *backend* selects the engine scheduling backend shared by every
+    executor of the variant (default: serial execution).
+    """
     cost = cost or CostParameters()
     partitioned = materialize_variant(database, variant)
     executors = [
-        Executor(dp, optimizations=optimizations) for dp in partitioned
+        Executor(dp, optimizations=optimizations, backend=backend, cost=cost)
+        for dp in partitioned
     ]
     runs: dict[str, QueryRun] = {}
     for name, plan in queries.items():
@@ -360,8 +369,37 @@ def run_workload(
             shuffles=result.stats.shuffle_count,
             max_node_work=result.stats.max_node_work,
             stats=result.stats,
+            operators=result.operators,
         )
     return runs
+
+
+def operator_breakdown(
+    runs: Mapping[str, QueryRun],
+) -> list[tuple[str, float, float, int, int]]:
+    """Aggregate per-operator totals over a workload's query runs.
+
+    Returns ``(operator label, max-node work, total work, network bytes,
+    shuffles)`` rows summed over all queries, sorted by total work
+    descending — the per-operator view behind the paper's "where does the
+    runtime go" discussion, ready for :func:`~repro.bench.format_table`.
+    """
+    totals: dict[str, list[float]] = {}
+    for run in runs.values():
+        for op in run.operators:
+            slot = totals.setdefault(op.label, [0.0, 0.0, 0, 0])
+            slot[0] += op.max_node_work
+            slot[1] += op.total_work
+            slot[2] += op.network_bytes
+            slot[3] += op.shuffles
+    return sorted(
+        (
+            (label, slot[0], slot[1], int(slot[2]), int(slot[3]))
+            for label, slot in totals.items()
+        ),
+        key=lambda row: row[2],
+        reverse=True,
+    )
 
 
 # --------------------------------------------------------------------------

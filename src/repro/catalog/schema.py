@@ -7,7 +7,7 @@ referential constraints of the database schema.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.catalog.column import Column, DataType

@@ -1,17 +1,26 @@
 """A simulated shared-nothing cluster: the library's main facade.
 
-Wraps a partitioned database with a distributed executor, a SQL front end
-and bulk loading, standing in for the paper's XDB middleware over MySQL
-nodes.  Example::
+Wraps a partitioned database with the distributed execution engine, a SQL
+front end and bulk loading, standing in for the paper's XDB middleware
+over MySQL nodes.  Example::
 
     cluster = SimulatedCluster.partition(database, config)
     result = cluster.sql("SELECT COUNT(*) AS n FROM lineitem l")
     print(result.rows, result.simulated_seconds())
+    print(result.explain_operators())
+
+Queries run on a pluggable engine backend; the default is a
+:class:`~repro.engine.backends.ThreadPoolBackend` shared by every query
+of the cluster, which executes independent per-partition operator tasks
+concurrently between exchange barriers.  Pass
+``backend=SerialBackend()`` for single-threaded execution — results and
+stats are identical by construction (the equivalence suite pins this).
 """
 
 from __future__ import annotations
 
 from repro.cluster.node import NodeReport
+from repro.engine.backends import Backend, ThreadPoolBackend
 from repro.partitioning.bulk_loader import BulkLoader
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.partitioner import partition_database
@@ -24,7 +33,22 @@ from repro.storage.table import Database
 
 
 class SimulatedCluster:
-    """A cluster of ``n`` simulated nodes holding one partitioned database."""
+    """A cluster of ``n`` simulated nodes holding one partitioned database.
+
+    Args:
+        database: The unpartitioned source database.
+        partitioned: Its partitioned form (one store per node).
+        config: The partitioning configuration that produced it.
+        cost: Cost parameters of the simulated hardware; stamped onto
+            every :class:`QueryResult` so ``result.simulated_seconds()``
+            uses them without re-passing.
+        optimizations: Enable the paper's hasS-index rewrites.
+        locality: Ablation switch — ``False`` makes the rewriter ignore
+            the co-partitioning cases (1)-(3) and shuffle every join, as
+            an engine unaware of PREF placement would.
+        backend: Engine scheduling backend (default: a thread pool shared
+            across this cluster's queries).
+    """
 
     def __init__(
         self,
@@ -33,12 +57,21 @@ class SimulatedCluster:
         config: PartitioningConfig,
         cost: CostParameters | None = None,
         optimizations: bool = True,
+        locality: bool = True,
+        backend: Backend | None = None,
     ) -> None:
         self.database = database
         self.partitioned = partitioned
         self.config = config
         self.cost = cost or CostParameters()
-        self.executor = Executor(partitioned, optimizations=optimizations)
+        self.backend = backend or ThreadPoolBackend()
+        self.executor = Executor(
+            partitioned,
+            optimizations=optimizations,
+            locality=locality,
+            backend=self.backend,
+            cost=self.cost,
+        )
         self.loader = BulkLoader(partitioned, config)
 
     @classmethod
@@ -48,10 +81,20 @@ class SimulatedCluster:
         config: PartitioningConfig,
         cost: CostParameters | None = None,
         optimizations: bool = True,
+        locality: bool = True,
+        backend: Backend | None = None,
     ) -> "SimulatedCluster":
         """Partition *database* under *config* and wrap it in a cluster."""
         partitioned = partition_database(database, config)
-        return cls(database, partitioned, config, cost, optimizations)
+        return cls(
+            database,
+            partitioned,
+            config,
+            cost,
+            optimizations,
+            locality=locality,
+            backend=backend,
+        )
 
     @property
     def node_count(self) -> int:
@@ -79,6 +122,10 @@ class SimulatedCluster:
     def simulated_seconds(self, plan: PlanNode) -> float:
         """Execute *plan* and return its simulated runtime."""
         return self.run(plan).simulated_seconds(self.cost)
+
+    def close(self) -> None:
+        """Release the engine backend's scheduler resources."""
+        self.backend.close()
 
     # -- storage -----------------------------------------------------------------
 

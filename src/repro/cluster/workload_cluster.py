@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 from repro.cluster.cluster import SimulatedCluster
 from repro.design.estimator import RedundancyEstimator
+from repro.engine.backends import Backend, ThreadPoolBackend
 from repro.design.workload import QuerySpec
 from repro.design.workload_driven import (
     WorkloadDesignResult,
@@ -40,19 +41,25 @@ class WorkloadCluster:
         partition_count: int,
         replicate: Iterable[str] = (),
         cost: CostParameters | None = None,
+        backend: Backend | None = None,
     ) -> None:
         self.database = database
         self.design = design
         self.partition_count = partition_count
         self.replicated = tuple(replicate) or design.replicated
         self.cost = cost or CostParameters()
+        #: One engine backend shared by every fragment cluster, so a
+        #: routed workload reuses a single scheduler/thread pool.
+        self.backend = backend or ThreadPoolBackend()
         self._estimator = RedundancyEstimator(database, partition_count)
         self.configs: list[PartitioningConfig] = [
             self._covering_config(fragment.config)
             for fragment in design.fragments
         ]
         self.clusters: list[SimulatedCluster] = [
-            SimulatedCluster.partition(database, config, cost=self.cost)
+            SimulatedCluster.partition(
+                database, config, cost=self.cost, backend=self.backend
+            )
             for config in self.configs
         ]
 
@@ -65,6 +72,7 @@ class WorkloadCluster:
         replicate: Iterable[str] = (),
         sampling_rate: float = 1.0,
         cost: CostParameters | None = None,
+        backend: Backend | None = None,
     ) -> "WorkloadCluster":
         """Run the WD algorithm and materialise every fragment."""
         designer = WorkloadDrivenDesigner(
@@ -72,7 +80,12 @@ class WorkloadCluster:
         )
         result = designer.design(workload, replicate=replicate)
         return cls(
-            database, result, partition_count, replicate=replicate, cost=cost
+            database,
+            result,
+            partition_count,
+            replicate=replicate,
+            cost=cost,
+            backend=backend,
         )
 
     # -- routing ------------------------------------------------------------
@@ -114,6 +127,10 @@ class WorkloadCluster:
             f"-- routed to fragment {index}\n"
             + self.clusters[index].explain(plan)
         )
+
+    def close(self) -> None:
+        """Release the shared engine backend's scheduler resources."""
+        self.backend.close()
 
     # -- storage ------------------------------------------------------------------
 

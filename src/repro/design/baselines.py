@@ -19,7 +19,6 @@ from typing import Iterable, Mapping
 
 from repro.catalog.schema import DatabaseSchema
 from repro.design.graph import SchemaGraph
-from repro.design.locality import config_data_locality
 from repro.design.schema_driven import SchemaDrivenDesigner
 from repro.errors import DesignError
 from repro.partitioning.config import PartitioningConfig

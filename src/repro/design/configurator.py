@@ -15,8 +15,8 @@ the cost of some data-locality.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.catalog.schema import DatabaseSchema
 from repro.design.estimator import RedundancyEstimator

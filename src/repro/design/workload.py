@@ -11,7 +11,6 @@ from dataclasses import dataclass
 from typing import Iterable
 
 from repro.catalog.schema import DatabaseSchema
-from repro.errors import DesignError
 from repro.partitioning.predicate import JoinPredicate
 from repro.query.plan import Join, JoinKind, PlanNode, Scan
 

@@ -1,0 +1,248 @@
+"""Pluggable scheduling backends for the physical engine.
+
+A backend receives a compiled operator tree and an
+:class:`~repro.engine.context.ExecutionContext` and decides *when and
+where* each per-(operator, partition) task runs; the operators decide
+*what* each task does.  Because every accounting call is commutative (and
+join events are flushed in deterministic order by the context), any
+schedule that respects the task dependencies produces identical rows and
+identical :class:`~repro.query.cost.ExecutionStats`.
+
+Dependencies, per operator:
+
+* pipeline operator, output partition ``p`` → partition ``p`` of every
+  input (partition 0 for single-copy inputs);
+* barrier operator: ``prepare_partition(p)`` → partition ``p`` of the
+  input; ``exchange()`` → all own prepare tasks and *all* partitions of
+  all inputs; ``run_partition(p)`` → ``exchange()``.
+
+:class:`SerialBackend` executes the tasks in plan post-order on the
+calling thread — bitwise-identical to the old monolithic interpreter.
+:class:`ThreadPoolBackend` runs independent partitions concurrently
+between exchange barriers on a shared thread pool.  (CPython threads do
+not speed up pure-Python row loops, but the backend seam is exactly
+where a process pool, async I/O, or a real cluster transport plugs in —
+and the equivalence suite pins the semantics any such backend must keep.)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+from repro.engine.context import ExecutionContext, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.operators import PhysicalOperator
+
+
+class Backend:
+    """Schedules the tasks of a compiled physical plan."""
+
+    name = "backend"
+
+    def run(self, root: PhysicalOperator, ctx: ExecutionContext) -> None:
+        """Execute every task of the tree rooted at *root*."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release scheduler resources (idempotent; optional)."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _timed(
+    ctx: ExecutionContext,
+    op: PhysicalOperator,
+    phase: str,
+    node_id: int | None,
+    fn: Callable[[], None],
+) -> None:
+    """Run one task, reporting it to the trace hook if one is installed."""
+    if ctx.trace is None:
+        fn()
+        return
+    started = time.perf_counter()
+    fn()
+    ctx.record_trace(
+        TraceEvent(
+            op.op_id, op.label, phase, node_id, time.perf_counter() - started
+        )
+    )
+
+
+class SerialBackend(Backend):
+    """Runs every task on the calling thread, in plan post-order.
+
+    The task order — per operator: prepares ascending, exchange, output
+    partitions ascending — retraces the interpreter's loops exactly, so
+    results and stats are bitwise-identical to the pre-engine executor.
+    """
+
+    name = "serial"
+
+    def run(self, root: PhysicalOperator, ctx: ExecutionContext) -> None:
+        for op in root.walk():
+            for p in range(op.prepare_count):
+                _timed(ctx, op, "prepare", p, lambda op=op, p=p: op.prepare_partition(ctx, p))
+            if op.barrier:
+                _timed(ctx, op, "exchange", None, lambda op=op: op.exchange(ctx))
+            for p in range(op.output_count):
+                _timed(ctx, op, "partition", p, lambda op=op, p=p: op.run_partition(ctx, p))
+
+
+class _Task:
+    """One schedulable unit plus its dependency bookkeeping."""
+
+    __slots__ = ("fn", "dependents", "remaining")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self.dependents: list["_Task"] = []
+        self.remaining = 0
+
+
+def _link(dep: _Task, task: _Task) -> None:
+    dep.dependents.append(task)
+    task.remaining += 1
+
+
+class ThreadPoolBackend(Backend):
+    """Runs independent partition tasks concurrently between barriers.
+
+    Builds the task DAG described in the module docstring and feeds ready
+    tasks to a shared :class:`ThreadPoolExecutor`; a task is submitted the
+    moment its last dependency completes, so partition 3 of a filter can
+    run while partition 0 of the downstream join is already probing —
+    there is no per-operator barrier, only the exchange barriers the plan
+    itself demands.
+
+    The pool is created lazily and reused across queries; ``close()``
+    shuts it down.
+    """
+
+    name = "thread_pool"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(32, (os.cpu_count() or 2) + 4)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._pool
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    # -- graph construction ------------------------------------------------
+
+    def _build_graph(
+        self, root: PhysicalOperator, ctx: ExecutionContext
+    ) -> list[_Task]:
+        tasks: list[_Task] = []
+        #: Per operator, the dependency anchors downstream consumers wait
+        #: on: one task per output partition.
+        anchors: dict[int, list[_Task]] = {}
+
+        def add(task: _Task) -> _Task:
+            tasks.append(task)
+            return task
+
+        for op in root.walk():
+            if op.barrier:
+                prepares = [
+                    add(_Task(lambda op=op, p=p: _timed(
+                        ctx, op, "prepare", p,
+                        lambda: op.prepare_partition(ctx, p),
+                    )))
+                    for p in range(op.prepare_count)
+                ]
+                for p, task in enumerate(prepares):
+                    for child in op.inputs:
+                        _link(anchors[child.op_id][p if child.output_count > 1 else 0], task)
+                exchange = add(_Task(lambda op=op: _timed(
+                    ctx, op, "exchange", None, lambda: op.exchange(ctx)
+                )))
+                for task in prepares:
+                    _link(task, exchange)
+                # The exchange consumes complete inputs (broadcast ships
+                # whole relations, repartition merges every bucket).
+                for child in op.inputs:
+                    for anchor in anchors[child.op_id]:
+                        _link(anchor, exchange)
+                outs = []
+                for p in range(op.output_count):
+                    task = add(_Task(lambda op=op, p=p: _timed(
+                        ctx, op, "partition", p,
+                        lambda: op.run_partition(ctx, p),
+                    )))
+                    _link(exchange, task)
+                    outs.append(task)
+                anchors[op.op_id] = outs
+            else:
+                outs = []
+                for p in range(op.output_count):
+                    task = add(_Task(lambda op=op, p=p: _timed(
+                        ctx, op, "partition", p,
+                        lambda: op.run_partition(ctx, p),
+                    )))
+                    for child in op.inputs:
+                        _link(anchors[child.op_id][p if child.output_count > 1 else 0], task)
+                    outs.append(task)
+                anchors[op.op_id] = outs
+        return tasks
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, root: PhysicalOperator, ctx: ExecutionContext) -> None:
+        tasks = self._build_graph(root, ctx)
+        pool = self._ensure_pool()
+        lock = threading.Lock()
+        done = threading.Event()
+        state: dict[str, object] = {"pending": len(tasks), "error": None}
+
+        def execute(task: _Task) -> None:
+            try:
+                task.fn()
+            except BaseException as error:  # propagate to the caller
+                with lock:
+                    if state["error"] is None:
+                        state["error"] = error
+                    done.set()
+                return
+            ready: list[_Task] = []
+            with lock:
+                state["pending"] = int(state["pending"]) - 1
+                if state["pending"] == 0:
+                    done.set()
+                if state["error"] is None:
+                    for dependent in task.dependents:
+                        dependent.remaining -= 1
+                        if dependent.remaining == 0:
+                            ready.append(dependent)
+            for next_task in ready:
+                pool.submit(execute, next_task)
+
+        roots = [task for task in tasks if task.remaining == 0]
+        for task in roots:
+            pool.submit(execute, task)
+        done.wait()
+        error = state["error"]
+        if error is not None:
+            raise error  # type: ignore[misc]

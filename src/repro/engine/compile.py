@@ -1,0 +1,164 @@
+"""The physical compiler: lowers annotated logical plans to operators.
+
+Mirrors the dispatch of the old monolithic interpreter, but instead of
+executing each node it *binds* it: expressions are compiled against the
+child's column layout, pruning decisions and join/aggregate strategies
+are resolved, and everything ends up in self-contained operator objects a
+backend can schedule partition by partition.
+
+The compiler also appends the implicit finalisation the interpreter
+performed inline: a PREF duplicate-elimination pass when the root result
+still carries governing dup columns, then a gather onto the coordinator.
+Operator ids are assigned in post-order, which keeps deferred
+join-event flushing (see :mod:`repro.engine.context`) byte-compatible
+with serial execution.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExecutionError
+from repro.query.plan import (
+    Aggregate,
+    DedupFilter,
+    Filter,
+    Join,
+    OrderBy,
+    PartnerFilter,
+    Project,
+    Repartition,
+    Scan,
+)
+from repro.query.relation import Method, has_column
+from repro.query.rewrite import Annotated
+from repro.engine.operators import (
+    PhysicalAggregate,
+    PhysicalDedup,
+    PhysicalFilter,
+    PhysicalGather,
+    PhysicalHashJoin,
+    PhysicalOperator,
+    PhysicalOrderBy,
+    PhysicalPartnerFilter,
+    PhysicalProject,
+    PhysicalRepartition,
+    PhysicalScan,
+)
+from repro.storage.partitioned import PartitionedDatabase
+
+
+def compile_plan(
+    annotated: Annotated, partitioned: PartitionedDatabase
+) -> PhysicalOperator:
+    """Lower *annotated* into a physical operator tree, rooted at the
+    implicit gather that lands the result on the coordinator."""
+    compiler = _Compiler(partitioned)
+    root = compiler.lower(annotated)
+    if annotated.props.governing:
+        # Final PREF dedup before results leave the cluster (the
+        # interpreter's _finalise); charged at full input size.
+        root = PhysicalDedup(
+            annotated,
+            root,
+            annotated.props.positions(annotated.props.governing),
+            indexed=False,
+        )
+    root = PhysicalGather(annotated, root)
+    for op_id, op in enumerate(root.walk()):
+        op.op_id = op_id
+    return root
+
+
+class _Compiler:
+    """Compiles one annotated plan against one partitioned database."""
+
+    def __init__(self, partitioned: PartitionedDatabase) -> None:
+        self.partitioned = partitioned
+        self.count = partitioned.partition_count
+
+    def lower(self, annotated: Annotated) -> PhysicalOperator:
+        node = annotated.node
+        if isinstance(node, Scan):
+            return self._scan(annotated)
+        if isinstance(node, Filter):
+            return self._filter(annotated)
+        if isinstance(node, Project):
+            return self._project(annotated)
+        if isinstance(node, DedupFilter):
+            return self._dedup(annotated)
+        if isinstance(node, PartnerFilter):
+            return self._partner_filter(annotated)
+        if isinstance(node, Repartition):
+            return self._repartition(annotated)
+        if isinstance(node, Join):
+            return self._join(annotated)
+        if isinstance(node, Aggregate):
+            return self._aggregate(annotated)
+        if isinstance(node, OrderBy):
+            return self._order_by(annotated)
+        raise ExecutionError(f"cannot compile node {node!r}")
+
+    # -- leaves ------------------------------------------------------------
+
+    def _scan(self, annotated: Annotated) -> PhysicalOperator:
+        node: Scan = annotated.node
+        table = self.partitioned.table(node.table)
+        if annotated.props.part.method is Method.REPLICATED:
+            return PhysicalScan(annotated, table, 1, None)
+        prune = annotated.extra.get("prune")
+        allowed = prune.partitions(table) if prune is not None else None
+        return PhysicalScan(annotated, table, len(table.partitions), allowed)
+
+    # -- pipeline operators ------------------------------------------------
+
+    def _filter(self, annotated: Annotated) -> PhysicalOperator:
+        node: Filter = annotated.node
+        child = self.lower(annotated.inputs[0])
+        predicate = node.condition.bind(child.props.columns)
+        indexed = isinstance(annotated.inputs[0].node, Scan)
+        return PhysicalFilter(annotated, child, predicate, indexed)
+
+    def _project(self, annotated: Annotated) -> PhysicalOperator:
+        node: Project = annotated.node
+        child = self.lower(annotated.inputs[0])
+        fns = [expr.bind(child.props.columns) for _name, expr in node.outputs]
+        local_distinct = annotated.extra.get("distinct") == "local"
+        return PhysicalProject(annotated, child, fns, local_distinct)
+
+    def _dedup(self, annotated: Annotated) -> PhysicalOperator:
+        child = self.lower(annotated.inputs[0])
+        positions = child.props.positions(child.props.governing)
+        indexed = isinstance(annotated.inputs[0].node, Scan)
+        return PhysicalDedup(annotated, child, positions, indexed)
+
+    def _partner_filter(self, annotated: Annotated) -> PhysicalOperator:
+        node: PartnerFilter = annotated.node
+        child = self.lower(annotated.inputs[0])
+        position = child.props.position(has_column(node.table))
+        indexed = isinstance(annotated.inputs[0].node, Scan)
+        return PhysicalPartnerFilter(
+            annotated, child, position, node.expect, indexed
+        )
+
+    # -- exchanges and multi-input operators -------------------------------
+
+    def _repartition(self, annotated: Annotated) -> PhysicalOperator:
+        node: Repartition = annotated.node
+        child = self.lower(annotated.inputs[0])
+        key_positions = child.props.positions(node.keys)
+        governing = (
+            child.props.positions(child.props.governing) if node.dedup else ()
+        )
+        return PhysicalRepartition(annotated, child, key_positions, governing)
+
+    def _join(self, annotated: Annotated) -> PhysicalOperator:
+        left = self.lower(annotated.inputs[0])
+        right = self.lower(annotated.inputs[1])
+        return PhysicalHashJoin(annotated, left, right, self.count)
+
+    def _aggregate(self, annotated: Annotated) -> PhysicalOperator:
+        child = self.lower(annotated.inputs[0])
+        return PhysicalAggregate(annotated, child, self.count)
+
+    def _order_by(self, annotated: Annotated) -> PhysicalOperator:
+        child = self.lower(annotated.inputs[0])
+        return PhysicalOrderBy(annotated, child)

@@ -1,0 +1,226 @@
+"""Thread-safe execution accounting shared by every task of one query.
+
+The monolithic executor used to thread an :class:`ExecutionStats` through
+its recursive interpreter and sprinkle ``add_work``/``add_network`` calls
+across if-branches.  The engine instead hands every physical-operator task
+one :class:`ExecutionContext`: each record lands both in the global
+``ExecutionStats`` (so the cost model is unchanged) and in a per-operator
+breakdown (so benchmarks can report where the time went), under a single
+lock so backends may run tasks from any number of threads.
+
+Join events need one extra rule: the spill model stores them in a list,
+and concurrent backends would append them in a nondeterministic order.
+The context therefore collects ``(op_id, node, build, probe)`` tuples and
+flushes them into ``stats.join_events`` sorted by ``(op_id, node)`` at
+:meth:`ExecutionContext.finish`.  Operator ids are assigned in post-order
+by the compiler, so the flushed order is exactly the order the serial
+interpreter used to produce — backends cannot be told apart by stats.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.operators import PhysicalOperator
+    from repro.query.cost import ExecutionStats
+    from repro.query.relation import Method
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator slice of the global :class:`ExecutionStats`."""
+
+    op_id: int
+    label: str
+    node_work: list[float]
+    network_bytes: int = 0
+    rows_shipped: int = 0
+    shuffles: int = 0
+    partitions_scanned: int = 0
+    rows_out: int = 0
+
+    @property
+    def total_work(self) -> float:
+        """Weighted row operations summed over all nodes."""
+        return sum(self.node_work)
+
+    @property
+    def max_node_work(self) -> float:
+        """Weighted row operations on the operator's busiest node."""
+        return max(self.node_work) if self.node_work else 0.0
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One completed engine task, reported to the trace hook."""
+
+    op_id: int
+    label: str
+    phase: str  #: "prepare" | "exchange" | "partition"
+    node_id: int | None
+    seconds: float
+
+
+class ExecutionContext:
+    """Accounting hub for one query execution.
+
+    Wraps an :class:`ExecutionStats` with thread-safe recording; every
+    call also updates the per-operator breakdown.  Backends may invoke
+    the recording methods from any thread.
+
+    Attributes:
+        stats: The global (cost-model) statistics.
+        trace: Optional hook called with a :class:`TraceEvent` after each
+            completed engine task (from the thread that ran the task).
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        stats: ExecutionStats | None = None,
+        trace: Callable[[TraceEvent], None] | None = None,
+    ) -> None:
+        # Deferred import: repro.query's package init imports the engine,
+        # so a module-level import here would re-enter it mid-exec when
+        # the engine is imported first (e.g. via repro.cluster).
+        from repro.query.cost import ExecutionStats
+
+        self.node_count = node_count
+        self.stats = stats or ExecutionStats(node_count)
+        self.trace = trace
+        self._lock = threading.Lock()
+        self._operators: dict[int, OperatorStats] = {}
+        self._join_events: list[tuple[int, int, int, int]] = []
+
+    # -- operator registry -------------------------------------------------
+
+    def register(self, op: "PhysicalOperator") -> None:
+        """Create the per-operator slot for *op* (id order == post-order)."""
+        with self._lock:
+            self._operators[op.op_id] = OperatorStats(
+                op.op_id, op.label, [0.0] * self.node_count
+            )
+
+    def operator_stats(self) -> list[OperatorStats]:
+        """The per-operator breakdown, in plan post-order."""
+        with self._lock:
+            return [self._operators[key] for key in sorted(self._operators)]
+
+    # -- recording ---------------------------------------------------------
+
+    def add_work(self, op: "PhysicalOperator", node: int, rows: float) -> None:
+        """Account *rows* weighted row operations on *node* for *op*."""
+        with self._lock:
+            self.stats.add_work(node, rows)
+            self._operators[op.op_id].node_work[node] += rows
+
+    def account(
+        self, op: "PhysicalOperator", method: Method, index: int, rows: float
+    ) -> None:
+        """Account input-processing work, honouring the input's placement.
+
+        Replicated inputs are processed by every node, gathered inputs by
+        the coordinator only; partitioned inputs cost on node *index*.
+        """
+        from repro.query.relation import Method
+
+        if method is Method.REPLICATED:
+            with self._lock:
+                slot = self._operators[op.op_id]
+                for node in range(self.node_count):
+                    self.stats.add_work(node, rows)
+                    slot.node_work[node] += rows
+        elif method is Method.GATHERED:
+            self.add_work(op, 0, rows)
+        else:
+            self.add_work(op, index, rows)
+
+    def add_network(
+        self, op: "PhysicalOperator", byte_count: int, rows: int
+    ) -> None:
+        """Account a data transfer performed by *op*."""
+        with self._lock:
+            self.stats.add_network(byte_count, rows)
+            slot = self._operators[op.op_id]
+            slot.network_bytes += byte_count
+            slot.rows_shipped += rows
+
+    def add_shuffle(self, op: "PhysicalOperator") -> None:
+        """Account one exchange round-trip performed by *op*."""
+        with self._lock:
+            self.stats.add_shuffle()
+            self._operators[op.op_id].shuffles += 1
+
+    def add_partition_scanned(self, op: "PhysicalOperator") -> None:
+        """Account one materialised base-table partition."""
+        with self._lock:
+            self.stats.partitions_scanned += 1
+            self._operators[op.op_id].partitions_scanned += 1
+
+    def add_join_event(
+        self, op: "PhysicalOperator", node: int, build_rows: int, probe_rows: int
+    ) -> None:
+        """Record a hash-join build/probe for the spill model (deferred)."""
+        with self._lock:
+            self._join_events.append((op.op_id, node, build_rows, probe_rows))
+
+    def add_output(self, op: "PhysicalOperator", rows: int) -> None:
+        """Record rows emitted by *op* (breakdown only, not cost-bearing)."""
+        with self._lock:
+            self._operators[op.op_id].rows_out += rows
+
+    def record_trace(self, event: TraceEvent) -> None:
+        """Forward *event* to the trace hook, if one is installed."""
+        if self.trace is not None:
+            self.trace(event)
+
+    # -- finalisation ------------------------------------------------------
+
+    def finish(self) -> ExecutionStats:
+        """Flush deferred join events into ``stats`` and return it.
+
+        Idempotent: the deferred list is drained, so calling twice does
+        not double-count.
+        """
+        with self._lock:
+            events = sorted(self._join_events)
+            self._join_events.clear()
+        for _op_id, node, build_rows, probe_rows in events:
+            self.stats.add_join_event(node, build_rows, probe_rows)
+        return self.stats
+
+
+def format_operator_stats(operators: list[OperatorStats]) -> str:
+    """Render a per-operator breakdown as an aligned text table."""
+    headers = (
+        "op", "operator", "max node work", "total work",
+        "net bytes", "rows out", "shuffles",
+    )
+    rows = [
+        (
+            str(op.op_id),
+            op.label,
+            f"{op.max_node_work:.0f}",
+            f"{op.total_work:.0f}",
+            str(op.network_bytes),
+            str(op.rows_out),
+            str(op.shuffles),
+        )
+        for op in operators
+    ]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    lines.extend(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rows
+    )
+    return "\n".join(lines)

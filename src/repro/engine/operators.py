@@ -1,0 +1,811 @@
+"""Self-contained physical operators with a per-partition task protocol.
+
+Every operator is an isolated, schedulable unit.  A backend drives each
+operator through up to three phases:
+
+1. ``prepare_partition(ctx, p)`` — per-*input*-partition work that needs
+   no cross-partition state (e.g. routing one source partition of a
+   repartition, computing one node's aggregation partials).  Only barrier
+   operators define these; ``prepare_count`` says how many.
+2. ``exchange(ctx)`` — the barrier itself, run exactly once after every
+   prepare task of this operator *and* every partition task of its
+   inputs has completed.  This is where rows cross node boundaries
+   (shuffle routing merge, broadcast shipping, partial-state merge,
+   gather) and where exchange round-trips are accounted.
+3. ``run_partition(ctx, p)`` — produces output partition *p*.  For
+   pipeline operators (``barrier == False``) this is the whole operator
+   and partitions are mutually independent, which is what lets a backend
+   run them concurrently; for barrier operators it finishes per-partition
+   post-exchange work (e.g. local DISTINCT after a shuffle).
+
+The row-level logic and every accounting call is a faithful port of the
+old monolithic interpreter, so any backend that respects the phase order
+reproduces its results and :class:`~repro.query.cost.ExecutionStats`
+exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.engine.context import ExecutionContext
+from repro.engine.rows import Row, _null_pad, _sort_key
+from repro.partitioning.scheme import stable_hash
+from repro.query.aggregates import make_accumulator
+from repro.query.plan import Aggregate, Join, JoinKind, OrderBy, Repartition
+from repro.query.relation import (
+    DistributedRelation,
+    Method,
+    RelProps,
+)
+from repro.query.rewrite import Annotated
+from repro.storage.partitioned import PartitionedTable
+
+
+class PhysicalOperator:
+    """Base class: output storage, placement helpers, task protocol."""
+
+    #: True if the operator needs all input partitions before it can
+    #: produce any output partition (it performs an exchange).
+    barrier: bool = False
+    #: Number of pre-exchange per-partition tasks (barrier operators).
+    prepare_count: int = 0
+    #: Human-readable name for per-operator stats (set by subclasses).
+    name: str = "op"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        inputs: Sequence["PhysicalOperator"],
+        output_count: int,
+    ) -> None:
+        self.annotated = annotated
+        self.props: RelProps = annotated.props
+        self.inputs = list(inputs)
+        self.output_count = output_count
+        self.op_id = -1  # assigned in post-order by the compiler
+        self._partitions: list[list[Row] | None] = [None] * output_count
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Stable display label, e.g. ``HashJoin(...)``."""
+        return self.name
+
+    def walk(self):
+        """Yield the subtree in post-order (inputs before the operator)."""
+        for child in self.inputs:
+            yield from child.walk()
+        yield self
+
+    # -- output storage ----------------------------------------------------
+
+    @property
+    def is_single_copy(self) -> bool:
+        """True if the output holds one logical copy (repl/gathered)."""
+        return self.props.part.method in (Method.REPLICATED, Method.GATHERED)
+
+    def partition_rows(self, p: int) -> list[Row]:
+        """Output partition *p* (must have been produced already)."""
+        rows = self._partitions[p]
+        assert rows is not None, f"partition {p} of {self.label} not ready"
+        return rows
+
+    def node_rows(self, node: int) -> list[Row]:
+        """The rows node *node* works on (single copies live in slot 0)."""
+        return self.partition_rows(0 if self.output_count == 1 else node)
+
+    def store(self, p: int, rows: list[Row]) -> None:
+        """Publish output partition *p*."""
+        self._partitions[p] = rows
+
+    def total_rows(self) -> int:
+        """Row count over all produced partitions."""
+        return sum(len(rows) for rows in self._partitions if rows is not None)
+
+    def relation(self) -> DistributedRelation:
+        """The completed output as a :class:`DistributedRelation`."""
+        return DistributedRelation(
+            self.props, [self.partition_rows(p) for p in range(self.output_count)]
+        )
+
+    # -- task protocol -----------------------------------------------------
+
+    def prepare_partition(self, ctx: ExecutionContext, p: int) -> None:
+        """Pre-exchange work for input partition *p* (barrier ops only)."""
+        raise NotImplementedError
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        """The exchange barrier (barrier ops only)."""
+        raise NotImplementedError
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        """Produce output partition *p*."""
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _input_method(self, index: int = 0) -> Method:
+        return self.inputs[index].props.part.method
+
+
+# --------------------------------------------------------------------------
+# Leaf and pipeline operators
+# --------------------------------------------------------------------------
+
+
+class PhysicalScan(PhysicalOperator):
+    """Materialise one base-table partition per task.
+
+    Scans are not charged: consumers charge their inputs (and filters
+    directly over a scan charge only their output, modelling index access
+    on the nodes).
+    """
+
+    name = "scan"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        table: PartitionedTable,
+        output_count: int,
+        allowed: frozenset[int] | None,
+    ) -> None:
+        super().__init__(annotated, [], output_count)
+        self.table = table
+        self.allowed = allowed
+        self.attach_bitmaps = self.props.part.method is Method.PREF
+        self.replicated = self.props.part.method is Method.REPLICATED
+
+    @property
+    def label(self) -> str:
+        return f"scan({self.table.schema.name})"
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        if self.replicated:
+            rows = list(self.table.partitions[0].rows)
+            ctx.add_output(self, len(rows))
+            self.store(0, rows)
+            return
+        partition = self.table.partitions[p]
+        if self.allowed is not None and partition.partition_id not in self.allowed:
+            self.store(p, [])
+            return
+        ctx.add_partition_scanned(self)
+        if self.attach_bitmaps:
+            rows = [
+                row + (int(partition.dup[i]), int(partition.has_partner[i]))
+                for i, row in enumerate(partition.rows)
+            ]
+        else:
+            rows = list(partition.rows)
+        ctx.add_output(self, len(rows))
+        self.store(p, rows)
+
+
+class PhysicalFilter(PhysicalOperator):
+    """Row filter.  Directly over a base-table scan it is served by an
+    index: only the qualifying rows are charged."""
+
+    name = "filter"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        predicate: Callable[[Row], object],
+        indexed: bool,
+    ) -> None:
+        super().__init__(annotated, [child], child.output_count)
+        self.predicate = predicate
+        self.indexed = indexed
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        predicate = self.predicate
+        kept = [row for row in rows if predicate(row)]
+        ctx.account(
+            self, child.props.part.method, p,
+            len(kept) if self.indexed else len(rows),
+        )
+        ctx.add_output(self, len(kept))
+        self.store(p, kept)
+
+
+class PhysicalProject(PhysicalOperator):
+    """Column projection / computation, optionally locally distinct."""
+
+    name = "project"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        fns: Sequence[Callable[[Row], object]],
+        local_distinct: bool,
+    ) -> None:
+        super().__init__(annotated, [child], child.output_count)
+        self.fns = list(fns)
+        self.local_distinct = local_distinct
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        projected = [tuple(fn(row) for fn in self.fns) for row in rows]
+        if self.local_distinct:
+            projected = list(dict.fromkeys(projected))
+        ctx.account(self, child.props.part.method, p, len(rows))
+        ctx.add_output(self, len(projected))
+        self.store(p, projected)
+
+
+class PhysicalDedup(PhysicalOperator):
+    """PREF duplicate elimination via the governing dup-bitmap columns.
+
+    Used both for explicit DedupFilter plan nodes and for the implicit
+    final dedup before gathering the result.  Elimination via the dup
+    bitmap index costs only the kept rows when applied directly over a
+    scan.
+    """
+
+    name = "dedup"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        positions: Sequence[int],
+        indexed: bool,
+    ) -> None:
+        super().__init__(annotated, [child], child.output_count)
+        self.positions = tuple(positions)
+        self.indexed = indexed
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        positions = self.positions
+        kept = [row for row in rows if all(not row[q] for q in positions)]
+        ctx.account(
+            self, child.props.part.method, p,
+            len(kept) if self.indexed else len(rows),
+        )
+        ctx.add_output(self, len(kept))
+        self.store(p, kept)
+
+
+class PhysicalPartnerFilter(PhysicalOperator):
+    """The paper's hasS-index rewrite: semi/anti join as a bitmap filter."""
+
+    name = "partner_filter"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        position: int,
+        expect: bool,
+        indexed: bool,
+    ) -> None:
+        super().__init__(annotated, [child], child.output_count)
+        self.position = position
+        self.expect = 1 if expect else 0
+        self.indexed = indexed
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        position, expect = self.position, self.expect
+        kept = [row for row in rows if row[position] == expect]
+        ctx.account(
+            self, child.props.part.method, p,
+            len(kept) if self.indexed else len(rows),
+        )
+        ctx.add_output(self, len(kept))
+        self.store(p, kept)
+
+
+# --------------------------------------------------------------------------
+# Exchange operators
+# --------------------------------------------------------------------------
+
+
+class PhysicalRepartition(PhysicalOperator):
+    """Hash shuffle.  ``prepare_partition`` routes one source partition
+    into per-target buckets (independent per source, so backends run the
+    routing concurrently); ``exchange`` concatenates the buckets in
+    source order, preserving the serial interpreter's row order."""
+
+    barrier = True
+    name = "repartition"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        key_positions: Sequence[int],
+        governing_positions: Sequence[int],
+    ) -> None:
+        node: Repartition = annotated.node
+        super().__init__(annotated, [child], node.count)
+        self.key_positions = tuple(key_positions)
+        self.governing = tuple(governing_positions)
+        self.row_bytes = child.props.row_bytes()
+        self.local_distinct = annotated.extra.get("distinct") == "local"
+        self.child_method = child.props.part.method
+        self.prepare_count = child.output_count
+        self._buckets: list[list[list[Row]] | None] = [None] * self.prepare_count
+        self._staged: list[list[Row]] = []
+
+    def _key_of(self, row: Row):
+        positions = self.key_positions
+        if len(positions) == 1:
+            return row[positions[0]]
+        return tuple(row[p] for p in positions)
+
+    def prepare_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        governing = self.governing
+        count = self.output_count
+        targets: list[list[Row]] = [[] for _ in range(count)]
+        if self.child_method is Method.REPLICATED:
+            # Every node already holds the full content; each just keeps
+            # its own hash range — no network traffic.
+            for row in rows:
+                if governing and any(row[q] for q in governing):
+                    continue
+                targets[stable_hash(self._key_of(row)) % count].append(row)
+            for index in range(count):
+                ctx.add_work(self, index, len(rows))
+        else:
+            # Gathered inputs live on the coordinator: source index 0.
+            source = p
+            ctx.account(self, self.child_method, source, len(rows))
+            row_bytes = self.row_bytes
+            for row in rows:
+                if governing and any(row[q] for q in governing):
+                    continue
+                target = stable_hash(self._key_of(row)) % count
+                targets[target].append(row)
+                if target != source:
+                    ctx.add_network(self, row_bytes, 1)
+        self._buckets[p] = targets
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        ctx.add_shuffle(self)
+        self._staged = []
+        for target in range(self.output_count):
+            merged: list[Row] = []
+            for buckets in self._buckets:
+                assert buckets is not None
+                merged.extend(buckets[target])
+            self._staged.append(merged)
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        rows = self._staged[p]
+        if self.local_distinct:
+            rows = list(dict.fromkeys(rows))
+        ctx.add_output(self, len(rows))
+        self.store(p, rows)
+
+
+class PhysicalHashJoin(PhysicalOperator):
+    """Hash join (or nested loop without keys) in one of three modes:
+
+    * ``local`` — inputs are co-partitioned; every node joins its own
+      rows independently (one task per node, no exchange);
+    * ``both_replicated`` — both inputs are full copies; join once;
+    * ``broadcast`` — ship the smaller input to every node in the
+      exchange, then probe per node concurrently.
+    """
+
+    name = "join"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        cluster_count: int,
+    ) -> None:
+        node: Join = annotated.node
+        self.strategy = annotated.extra.get("strategy", "local")
+        self.case = annotated.extra.get("case")
+        self.single = self.case == "both_replicated"
+        output_count = 1 if self.single else cluster_count
+        super().__init__(annotated, [left, right], output_count)
+        self.node = node
+        self.count = cluster_count
+        if self.strategy == "broadcast":
+            self.barrier = True
+        combined = left.props.columns + right.props.columns
+        self.residual = (
+            node.residual.bind(combined) if node.residual is not None else None
+        )
+        if node.on:
+            self.left_positions = [left.props.position(l) for l, _ in node.on]
+            self.right_positions = [right.props.position(r) for _, r in node.on]
+        else:
+            self.left_positions = self.right_positions = []
+        self.pad = (
+            _null_pad(right.props) if node.kind is JoinKind.LEFT_OUTER else None
+        )
+        # Broadcast state, filled by exchange().
+        self._shipped_rows: list[Row] = []
+        self._ship_left = False
+        self._single_done = False
+
+    @property
+    def label(self) -> str:
+        return f"join[{self.strategy}]"
+
+    # -- row-level join (port of the interpreter's _join_rows) -------------
+
+    def _join_rows(self, left_rows: list[Row], right_rows: list[Row]) -> list[Row]:
+        node = self.node
+        residual = self.residual
+        if not node.on:
+            return self._nested_loop(left_rows, right_rows)
+        left_positions = self.left_positions
+        right_positions = self.right_positions
+
+        def left_key(row: Row):
+            return tuple(row[p] for p in left_positions)
+
+        def right_key(row: Row):
+            return tuple(row[p] for p in right_positions)
+
+        if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            keys = {right_key(row) for row in right_rows}
+            expect = node.kind is JoinKind.SEMI
+            return [row for row in left_rows if (left_key(row) in keys) == expect]
+
+        table: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            table.setdefault(right_key(row), []).append(row)
+        out: list[Row] = []
+        pad = self.pad
+        for row in left_rows:
+            matches = table.get(left_key(row), ())
+            emitted = False
+            for match in matches:
+                combined_row = row + match
+                if residual is None or residual(combined_row):
+                    out.append(combined_row)
+                    emitted = True
+            if pad is not None and not emitted:
+                out.append(row + pad)
+        return out
+
+    def _nested_loop(self, left_rows: list[Row], right_rows: list[Row]) -> list[Row]:
+        node = self.node
+        residual = self.residual
+        pad = self.pad
+        if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            expect = node.kind is JoinKind.SEMI
+            result = []
+            for row in left_rows:
+                matched = any(
+                    residual is None or residual(row + other)
+                    for other in right_rows
+                )
+                if matched == expect:
+                    result.append(row)
+            return result
+        out: list[Row] = []
+        for row in left_rows:
+            emitted = False
+            for other in right_rows:
+                combined = row + other
+                if residual is None or residual(combined):
+                    out.append(combined)
+                    emitted = True
+            if pad is not None and not emitted:
+                out.append(row + pad)
+        return out
+
+    # -- broadcast exchange ------------------------------------------------
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        """Ship the smaller input to every node (paper's remote join)."""
+        node = self.node
+        left, right = self.inputs
+        ctx.add_shuffle(self)
+        if node.kind in (JoinKind.SEMI, JoinKind.ANTI, JoinKind.LEFT_OUTER):
+            # The preserved side must stay partitioned; ship the other one.
+            ship_left = False
+        else:
+            ship_left = left.total_rows() <= right.total_rows()
+        shipped, kept = (left, right) if ship_left else (right, left)
+        shipped_rows = [
+            row
+            for p in range(shipped.output_count)
+            for row in shipped.partition_rows(p)
+        ]
+        if shipped.props.part.method is not Method.REPLICATED:
+            bytes_each = shipped.props.row_bytes()
+            ctx.add_network(
+                self,
+                bytes_each * len(shipped_rows) * max(self.count - 1, 1),
+                len(shipped_rows) * max(self.count - 1, 1),
+            )
+        self._ship_left = ship_left
+        self._shipped_rows = shipped_rows
+        if kept.is_single_copy:
+            # Both inputs are now fully available on every node; computing
+            # per partition would emit the result once per node.  Compute
+            # once instead.
+            kept_rows = kept.partition_rows(0)
+            if ship_left:
+                out = self._join_rows(shipped_rows, kept_rows)
+            else:
+                out = self._join_rows(kept_rows, shipped_rows)
+            ctx.add_work(self, 0, len(kept_rows) + len(shipped_rows) + len(out))
+            ctx.add_join_event(
+                self,
+                0,
+                len(kept_rows) if ship_left else len(shipped_rows),
+                len(shipped_rows) if ship_left else len(kept_rows),
+            )
+            ctx.add_output(self, len(out))
+            self.store(0, out)
+            for index in range(1, self.output_count):
+                self.store(index, [])
+            self._single_done = True
+
+    # -- per-partition execution -------------------------------------------
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        if self.strategy == "broadcast":
+            self._run_broadcast_partition(ctx, p)
+            return
+        left, right = self.inputs
+        if self.single:
+            left_rows = left.partition_rows(0)
+            right_rows = right.partition_rows(0)
+            out = self._join_rows(left_rows, right_rows)
+            ctx.add_work(self, 0, len(left_rows) + len(right_rows))
+            ctx.add_join_event(self, 0, len(right_rows), len(left_rows))
+            ctx.add_output(self, len(out))
+            self.store(0, out)
+            return
+        left_rows = left.node_rows(p)
+        right_rows = right.node_rows(p)
+        out = self._join_rows(left_rows, right_rows)
+        ctx.add_work(self, p, len(left_rows) + len(right_rows) + len(out))
+        ctx.add_join_event(self, p, len(right_rows), len(left_rows))
+        ctx.add_output(self, len(out))
+        self.store(p, out)
+
+    def _run_broadcast_partition(self, ctx: ExecutionContext, p: int) -> None:
+        if self._single_done:
+            return  # staged by exchange()
+        left, right = self.inputs
+        kept = right if self._ship_left else left
+        shipped_rows = self._shipped_rows
+        kept_rows = kept.node_rows(p)
+        if self._ship_left:
+            out = self._join_rows(shipped_rows, kept_rows)
+        else:
+            out = self._join_rows(kept_rows, shipped_rows)
+        ctx.add_work(self, p, len(kept_rows) + len(shipped_rows) + len(out))
+        build_rows = len(kept_rows) if self._ship_left else len(shipped_rows)
+        probe_rows = len(shipped_rows) if self._ship_left else len(kept_rows)
+        ctx.add_join_event(self, p, build_rows, probe_rows)
+        ctx.add_output(self, len(out))
+        self.store(p, out)
+
+
+class PhysicalAggregate(PhysicalOperator):
+    """Aggregation in one of three modes:
+
+    * ``single`` — the input is one copy (gathered/replicated); one task;
+    * ``local`` — groups are partition-local; one task per partition;
+    * ``two_phase`` — per-partition partials (``prepare_partition``, run
+      concurrently), then compact accumulator states ship to their hash
+      targets and merge in the exchange.  Partials merge in source order,
+      so float accumulation order matches the serial interpreter.
+    """
+
+    name = "aggregate"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        cluster_count: int,
+    ) -> None:
+        node: Aggregate = annotated.node
+        self.strategy = annotated.extra["strategy"]
+        self.scalar = not node.group_by
+        if self.strategy == "single":
+            output_count = 1
+        elif self.strategy == "local":
+            output_count = child.output_count
+        else:
+            output_count = 1 if self.scalar else cluster_count
+        super().__init__(annotated, [child], output_count)
+        self.node = node
+        self.count = cluster_count
+        self.group_positions = child.props.positions(node.group_by)
+        self.agg_fns = [
+            (spec, spec.expr.bind(child.props.columns) if spec.expr else None)
+            for spec in node.aggregates
+        ]
+        self.key_bytes = 8 * max(len(node.group_by), 1)
+        if self.strategy == "two_phase":
+            self.barrier = True
+            self.prepare_count = child.output_count
+        self._partials: list[dict[tuple, list] | None] = [None] * self.prepare_count
+        self._staged: list[list[Row]] = []
+
+    @property
+    def label(self) -> str:
+        return f"aggregate[{self.strategy}]"
+
+    def _aggregate_rows(self, rows: list[Row]) -> list[Row]:
+        groups = self._partial_states(rows)
+        if not groups and not self.node.group_by:
+            groups[()] = [make_accumulator(spec.func) for spec, _ in self.agg_fns]
+        return [
+            key + tuple(acc.result() for acc in accs)
+            for key, accs in groups.items()
+        ]
+
+    def _partial_states(self, rows: list[Row]) -> dict[tuple, list]:
+        group_positions = self.group_positions
+        agg_fns = self.agg_fns
+        groups: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(row[p] for p in group_positions)
+            accs = groups.get(key)
+            if accs is None:
+                accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
+                groups[key] = accs
+            for acc, (spec, fn) in zip(accs, agg_fns):
+                acc.add(fn(row) if fn is not None else 1)
+        return groups
+
+    # -- two-phase ---------------------------------------------------------
+
+    def prepare_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        rows = child.partition_rows(p)
+        ctx.account(self, child.props.part.method, p, len(rows))
+        self._partials[p] = self._partial_states(rows)
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        """Ship compact states to their hash targets and merge."""
+        ctx.add_shuffle(self)
+        scalar = self.scalar
+        count = self.count
+        merged: list[dict[tuple, list]] = [
+            {} for _ in range(1 if scalar else count)
+        ]
+        key_bytes = self.key_bytes
+        for index in range(self.prepare_count):
+            partials = self._partials[index]
+            assert partials is not None
+            for key, accs in partials.items():
+                target = (
+                    0
+                    if scalar
+                    else stable_hash(key if len(key) > 1 else key[0]) % count
+                )
+                if target != index:
+                    ctx.add_network(
+                        self,
+                        key_bytes + sum(acc.state_bytes() for acc in accs),
+                        1,
+                    )
+                bucket = merged[0 if scalar else target]
+                existing = bucket.get(key)
+                if existing is None:
+                    bucket[key] = accs
+                else:
+                    for acc, other in zip(existing, accs):
+                        acc.merge_state(other.state())
+        self._staged = []
+        for bucket in merged:
+            if scalar and not bucket:
+                bucket[()] = [
+                    make_accumulator(spec.func) for spec, _ in self.agg_fns
+                ]
+            self._staged.append(
+                [
+                    key + tuple(acc.result() for acc in accs)
+                    for key, accs in bucket.items()
+                ]
+            )
+
+    # -- execution ---------------------------------------------------------
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        if self.strategy == "single":
+            rows = child.partition_rows(0)
+            ctx.add_work(self, 0, len(rows))
+            out = self._aggregate_rows(rows)
+            ctx.add_output(self, len(out))
+            self.store(0, out)
+            return
+        if self.strategy == "local":
+            rows = child.partition_rows(p)
+            out = self._aggregate_rows(rows)
+            ctx.add_work(self, p, len(rows) + len(out))
+            ctx.add_output(self, len(out))
+            self.store(p, out)
+            return
+        rows = self._staged[p]
+        ctx.add_work(self, 0 if self.scalar else p, len(rows))
+        ctx.add_output(self, len(rows))
+        self.store(p, rows)
+
+
+class PhysicalOrderBy(PhysicalOperator):
+    """Gather every partition on the coordinator, sort, apply the limit."""
+
+    barrier = True
+    name = "order_by"
+
+    def __init__(self, annotated: Annotated, child: PhysicalOperator) -> None:
+        node: OrderBy = annotated.node
+        super().__init__(annotated, [child], 1)
+        self.sort_positions = [
+            (child.props.position(column), ascending)
+            for column, ascending in node.keys
+        ]
+        self.limit = node.limit
+        self._staged: list[Row] = []
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        rows = _gather(self.inputs[0], self, ctx)
+        for position, ascending in reversed(self.sort_positions):
+            rows.sort(
+                key=lambda row: _sort_key(row[position]), reverse=not ascending
+            )
+        if self.limit is not None:
+            rows = rows[: self.limit]
+        ctx.add_work(self, 0, len(rows))
+        self._staged = rows
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        ctx.add_output(self, len(self._staged))
+        self.store(0, self._staged)
+
+
+class PhysicalGather(PhysicalOperator):
+    """Implicit root: collect the final result on the coordinator."""
+
+    barrier = True
+    name = "gather"
+
+    def __init__(self, annotated: Annotated, child: PhysicalOperator) -> None:
+        super().__init__(annotated, [child], 1)
+        self._staged: list[Row] = []
+
+    def exchange(self, ctx: ExecutionContext) -> None:
+        self._staged = _gather(self.inputs[0], self, ctx)
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        ctx.add_output(self, len(self._staged))
+        self.store(0, self._staged)
+
+
+def _gather(
+    child: PhysicalOperator, op: PhysicalOperator, ctx: ExecutionContext
+) -> list[Row]:
+    """Move every partition of *child* to the coordinator, metering it."""
+    if child.is_single_copy:
+        return list(child.partition_rows(0))
+    row_bytes = child.props.row_bytes()
+    rows: list[Row] = []
+    for index in range(child.output_count):
+        partition = child.partition_rows(index)
+        rows.extend(partition)
+        if index != 0 and partition:
+            ctx.add_network(op, row_bytes * len(partition), len(partition))
+    return rows

@@ -1,0 +1,34 @@
+"""Row-level helpers shared by the physical operators and both executors.
+
+Kept free of module-level ``repro.query`` imports so it can be imported
+from any point of the engine/query import graph without re-entering a
+package initialiser mid-import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.query.relation import RelProps
+
+Row = tuple
+
+
+def _sort_key(value: object) -> tuple:
+    """Total ordering across None and mixed values (NULLs sort first)."""
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (1, value)
+    return (2, str(value))
+
+
+def _null_pad(props: RelProps) -> Row:
+    """Null padding for outer joins; hidden dup bits pad to 0, not NULL,
+    so padded rows survive PREF duplicate elimination exactly once."""
+    from repro.query.relation import is_hidden
+
+    return tuple(0 if is_hidden(column) else None for column in props.columns)

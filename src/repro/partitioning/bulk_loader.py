@@ -17,7 +17,7 @@ restriction at the end of Section 2.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.errors import BulkLoadError

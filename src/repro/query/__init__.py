@@ -1,5 +1,10 @@
 """Query processing: plans, rewrite rules, distributed + local executors."""
 
+from repro.engine import (
+    OperatorStats,
+    SerialBackend,
+    ThreadPoolBackend,
+)
 from repro.query.builder import Query
 from repro.query.cost import CostParameters, ExecutionStats
 from repro.query.executor import Executor, QueryResult
@@ -29,6 +34,7 @@ __all__ = [
     "Join",
     "JoinKind",
     "LocalExecutor",
+    "OperatorStats",
     "OrderBy",
     "PlanNode",
     "Project",
@@ -36,6 +42,8 @@ __all__ = [
     "QueryResult",
     "Rewriter",
     "Scan",
+    "SerialBackend",
+    "ThreadPoolBackend",
     "and_",
     "col",
     "lit",

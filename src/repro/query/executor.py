@@ -1,40 +1,41 @@
-"""The distributed executor: runs annotated physical plans on the cluster.
+"""The distributed executor: a thin facade over the execution engine.
+
+``Executor`` keeps the API the rest of the library (clusters, benchmark
+harness, tests) has always used, but execution itself now flows through a
+three-stage pipeline:
+
+1. the :class:`~repro.query.rewrite.Rewriter` produces the annotated
+   logical plan (Part/Dup properties, inserted exchanges);
+2. the physical compiler (:mod:`repro.engine.compile`) lowers it into a
+   tree of self-contained physical operators;
+3. a pluggable backend (:mod:`repro.engine.backends`) schedules the
+   per-(operator, partition) tasks — serially, or concurrently between
+   exchange barriers.
 
 Rows physically move between per-node partition stores; every movement is
 metered by :class:`~repro.query.cost.ExecutionStats` (network bytes, rows
-shipped, shuffle round-trips) and every operator accounts weighted row work
-on the node it runs on.  Simulated query runtime is derived from these
-numbers — see :mod:`repro.query.cost`.
+shipped, shuffle round-trips) through the engine's
+:class:`~repro.engine.context.ExecutionContext`, which additionally keeps
+a per-operator × per-node breakdown exposed on :class:`QueryResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.errors import ExecutionError
-from repro.partitioning.scheme import stable_hash
-from repro.query.aggregates import make_accumulator
+from repro.engine.backends import Backend, SerialBackend
+from repro.engine.context import (
+    ExecutionContext,
+    OperatorStats,
+    TraceEvent,
+    format_operator_stats,
+)
+from repro.engine.rows import _null_pad, _sort_key  # noqa: F401  (re-export:
+# local_executor and older callers import shared ordering semantics from here)
 from repro.query.cost import CostParameters, ExecutionStats
-from repro.query.expressions import Expression
-from repro.query.plan import (
-    Aggregate,
-    DedupFilter,
-    Filter,
-    Join,
-    JoinKind,
-    OrderBy,
-    PartnerFilter,
-    PlanNode,
-    Project,
-    Repartition,
-    Scan,
-)
-from repro.query.relation import (
-    DistributedRelation,
-    Method,
-    RelProps,
-    is_hidden,
-)
+from repro.query.plan import PlanNode
+from repro.query.relation import is_hidden
 from repro.query.rewrite import Annotated, Rewriter
 from repro.storage.partitioned import PartitionedDatabase
 
@@ -43,567 +44,108 @@ Row = tuple
 
 @dataclass
 class QueryResult:
-    """Result of a distributed query: rows, schema, and cost accounting."""
+    """Result of a distributed query: rows, schema, and cost accounting.
+
+    Attributes:
+        columns: Visible output column names.
+        rows: Result rows, gathered on the coordinator.
+        stats: Global execution statistics (the cost model's input).
+        plan: The annotated physical plan that was executed.
+        operators: Per-operator × per-node breakdown of the same
+            accounting, in plan post-order.
+        cost: The cost parameters of the cluster that ran the query;
+            :meth:`simulated_seconds` defaults to them.
+    """
 
     columns: tuple[str, ...]
     rows: list[Row]
     stats: ExecutionStats
     plan: Annotated
+    operators: list[OperatorStats] = field(default_factory=list)
+    cost: CostParameters | None = None
 
     def simulated_seconds(self, params: CostParameters | None = None) -> float:
-        """Simulated runtime of the query under the cost model."""
-        return self.stats.simulated_seconds(params)
+        """Simulated runtime under *params* (default: the cluster's own
+        cost parameters, falling back to :class:`CostParameters()`)."""
+        return self.stats.simulated_seconds(params or self.cost)
 
     def as_dicts(self) -> list[dict]:
         """Rows as dictionaries keyed by column name."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
+    def explain_operators(self) -> str:
+        """The per-operator cost breakdown, as an aligned text table."""
+        return format_operator_stats(self.operators)
+
 
 class Executor:
-    """Executes logical plans against one partitioned database."""
+    """Executes logical plans against one partitioned database.
+
+    Args:
+        partitioned: The partitioned database to run on.
+        optimizations: Enable the paper's hasS-index rewrites.
+        locality: Ablation switch — with ``False`` the rewriter ignores
+            the co-partitioning cases and shuffles every join.
+        backend: Scheduling backend; defaults to a fresh
+            :class:`SerialBackend`.  Backends may be shared between
+            executors (the cluster facade shares one thread pool).
+        cost: Cost parameters stamped onto every :class:`QueryResult` so
+            ``result.simulated_seconds()`` uses the cluster's constants.
+        trace: Optional per-task trace hook (receives
+            :class:`~repro.engine.context.TraceEvent`).
+    """
 
     def __init__(
         self,
         partitioned: PartitionedDatabase,
         optimizations: bool = True,
         locality: bool = True,
+        backend: Backend | None = None,
+        cost: CostParameters | None = None,
+        trace: Callable[[TraceEvent], None] | None = None,
     ) -> None:
         self.partitioned = partitioned
         self.count = partitioned.partition_count
         self.rewriter = Rewriter(
             partitioned, optimizations=optimizations, locality=locality
         )
+        self.backend = backend or SerialBackend()
+        self.cost = cost
+        self.trace = trace
 
     def execute(self, plan: PlanNode) -> QueryResult:
-        """Rewrite and run *plan*, returning rows and execution stats."""
+        """Rewrite, compile, and run *plan* on the backend."""
+        # Deferred import: the compiler pulls in the whole operator set,
+        # whose modules import repro.query submodules; importing it at
+        # call time keeps every package-first import order working.
+        from repro.engine.compile import compile_plan
+
         annotated = self.rewriter.rewrite(plan)
-        stats = ExecutionStats(self.count)
-        relation = self._exec(annotated, stats)
-        rows = self._finalise(relation, stats)
-        visible = relation.props.visible_columns
+        root = compile_plan(annotated, self.partitioned)
+        ctx = ExecutionContext(self.count, trace=self.trace)
+        for op in root.walk():
+            ctx.register(op)
+        self.backend.run(root, ctx)
+        stats = ctx.finish()
+        rows = root.partition_rows(0)
+        props = annotated.props
+        visible = props.visible_columns
         positions = [
             index
-            for index, column in enumerate(relation.props.columns)
+            for index, column in enumerate(props.columns)
             if not is_hidden(column)
         ]
-        if len(positions) != len(relation.props.columns):
+        if len(positions) != len(props.columns):
             rows = [tuple(row[p] for p in positions) for row in rows]
-        return QueryResult(visible, rows, stats, annotated)
+        return QueryResult(
+            visible,
+            rows,
+            stats,
+            annotated,
+            operators=ctx.operator_stats(),
+            cost=self.cost,
+        )
 
     def explain(self, plan: PlanNode) -> str:
         """The annotated physical plan for *plan*, as text."""
         return self.rewriter.rewrite(plan).explain()
-
-    # -- plan dispatch ---------------------------------------------------------
-
-    def _exec(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        node = annotated.node
-        if isinstance(node, Scan):
-            return self._exec_scan(annotated, stats)
-        if isinstance(node, Filter):
-            return self._exec_filter(annotated, stats)
-        if isinstance(node, Project):
-            return self._exec_project(annotated, stats)
-        if isinstance(node, DedupFilter):
-            return self._exec_dedup(annotated, stats)
-        if isinstance(node, PartnerFilter):
-            return self._exec_partner_filter(annotated, stats)
-        if isinstance(node, Repartition):
-            return self._exec_repartition(annotated, stats)
-        if isinstance(node, Join):
-            return self._exec_join(annotated, stats)
-        if isinstance(node, Aggregate):
-            return self._exec_aggregate(annotated, stats)
-        if isinstance(node, OrderBy):
-            return self._exec_order_by(annotated, stats)
-        raise ExecutionError(f"cannot execute node {node!r}")
-
-    # -- leaf operators -----------------------------------------------------------
-
-    def _exec_scan(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        node: Scan = annotated.node
-        table = self.partitioned.table(node.table)
-        props = annotated.props
-        if props.part.method is Method.REPLICATED:
-            rows = list(table.partitions[0].rows)
-            # Work is accounted where the replica is consumed (per node).
-            return DistributedRelation(props, [rows])
-        prune = annotated.extra.get("prune")
-        allowed = prune.partitions(table) if prune is not None else None
-        partitions: list[list[Row]] = []
-        attach_bitmaps = props.part.method is Method.PREF
-        for partition in table.partitions:
-            if allowed is not None and partition.partition_id not in allowed:
-                partitions.append([])
-                continue
-            stats.partitions_scanned += 1
-            if attach_bitmaps:
-                rows = [
-                    row + (int(partition.dup[i]), int(partition.has_partner[i]))
-                    for i, row in enumerate(partition.rows)
-                ]
-            else:
-                rows = list(partition.rows)
-            # Scans are not charged here: consumers charge their inputs
-            # (and filters directly over a scan charge only their output,
-            # modelling index access on the nodes).
-            partitions.append(rows)
-        return DistributedRelation(props, partitions)
-
-    def _exec_filter(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        node: Filter = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        predicate = node.condition.bind(child.props.columns)
-        # A filter directly over a base-table scan is served by an index:
-        # only the qualifying rows are charged.
-        indexed = isinstance(annotated.inputs[0].node, Scan)
-        partitions = []
-        for index, rows in enumerate(child.partitions):
-            kept = [row for row in rows if predicate(row)]
-            self._account(stats, child, index, len(kept) if indexed else len(rows))
-            partitions.append(kept)
-        return DistributedRelation(annotated.props, partitions)
-
-    def _exec_project(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        node: Project = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        fns = [expr.bind(child.props.columns) for _name, expr in node.outputs]
-        local_distinct = annotated.extra.get("distinct") == "local"
-        partitions = []
-        for index, rows in enumerate(child.partitions):
-            projected = [tuple(fn(row) for fn in fns) for row in rows]
-            if local_distinct:
-                projected = list(dict.fromkeys(projected))
-            self._account(stats, child, index, len(rows))
-            partitions.append(projected)
-        return DistributedRelation(annotated.props, partitions)
-
-    def _exec_dedup(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        child = self._exec(annotated.inputs[0], stats)
-        positions = child.props.positions(child.props.governing)
-        # Elimination via the dup bitmap index costs only the kept rows
-        # when applied directly over a scan.
-        indexed = isinstance(annotated.inputs[0].node, Scan)
-        partitions = []
-        for index, rows in enumerate(child.partitions):
-            kept = [
-                row
-                for row in rows
-                if all(not row[p] for p in positions)
-            ]
-            self._account(stats, child, index, len(kept) if indexed else len(rows))
-            partitions.append(kept)
-        return DistributedRelation(annotated.props, partitions)
-
-    def _exec_partner_filter(
-        self, annotated: Annotated, stats: ExecutionStats
-    ) -> DistributedRelation:
-        node: PartnerFilter = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        position = child.props.position(f"__has@{node.table}")
-        expect = 1 if node.expect else 0
-        # The hasS bitmap index serves this filter; only kept rows cost.
-        indexed = isinstance(annotated.inputs[0].node, Scan)
-        partitions = []
-        for index, rows in enumerate(child.partitions):
-            kept = [row for row in rows if row[position] == expect]
-            self._account(stats, child, index, len(kept) if indexed else len(rows))
-            partitions.append(kept)
-        return DistributedRelation(annotated.props, partitions)
-
-    # -- exchanges --------------------------------------------------------------------
-
-    def _exec_repartition(
-        self, annotated: Annotated, stats: ExecutionStats
-    ) -> DistributedRelation:
-        node: Repartition = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        key_positions = child.props.positions(node.keys)
-        governing = (
-            child.props.positions(child.props.governing) if node.dedup else ()
-        )
-        row_bytes = child.props.row_bytes()
-        targets: list[list[Row]] = [[] for _ in range(node.count)]
-        stats.add_shuffle()
-
-        def key_of(row: Row):
-            if len(key_positions) == 1:
-                return row[key_positions[0]]
-            return tuple(row[p] for p in key_positions)
-
-        if child.method is Method.REPLICATED:
-            # Every node already holds the full content; each just keeps
-            # its own hash range — no network traffic.
-            rows = child.partitions[0]
-            for row in rows:
-                if governing and any(row[p] for p in governing):
-                    continue
-                target = stable_hash(key_of(row)) % node.count
-                targets[target].append(row)
-            for index in range(node.count):
-                stats.add_work(index, len(rows))
-        else:
-            source_partitions = (
-                [(0, child.partitions[0])]
-                if child.method is Method.GATHERED
-                else list(enumerate(child.partitions))
-            )
-            for source, rows in source_partitions:
-                self._account(stats, child, source, len(rows))
-                for row in rows:
-                    if governing and any(row[p] for p in governing):
-                        continue
-                    target = stable_hash(key_of(row)) % node.count
-                    targets[target].append(row)
-                    if target != source:
-                        stats.add_network(row_bytes, 1)
-        local_distinct = annotated.extra.get("distinct") == "local"
-        if local_distinct:
-            targets = [list(dict.fromkeys(rows)) for rows in targets]
-        return DistributedRelation(annotated.props, targets)
-
-    # -- joins --------------------------------------------------------------------------
-
-    def _exec_join(self, annotated: Annotated, stats: ExecutionStats) -> DistributedRelation:
-        node: Join = annotated.node
-        left = self._exec(annotated.inputs[0], stats)
-        right = self._exec(annotated.inputs[1], stats)
-        strategy = annotated.extra.get("strategy", "local")
-        if strategy == "broadcast":
-            return self._broadcast_join(annotated, node, left, right, stats)
-        case = annotated.extra.get("case")
-        if case == "both_replicated":
-            rows = self._join_rows(
-                node, left.partitions[0], right.partitions[0], left, right
-            )
-            stats.add_work(0, len(left.partitions[0]) + len(right.partitions[0]))
-            stats.add_join_event(
-                0, len(right.partitions[0]), len(left.partitions[0])
-            )
-            return DistributedRelation(annotated.props, [rows])
-        partitions = []
-        for index in range(self.count):
-            left_rows = left.node_rows(index)
-            right_rows = right.node_rows(index)
-            out = self._join_rows(node, left_rows, right_rows, left, right)
-            stats.add_work(index, len(left_rows) + len(right_rows) + len(out))
-            stats.add_join_event(index, len(right_rows), len(left_rows))
-            partitions.append(out)
-        return DistributedRelation(annotated.props, partitions)
-
-    def _broadcast_join(
-        self,
-        annotated: Annotated,
-        node: Join,
-        left: DistributedRelation,
-        right: DistributedRelation,
-        stats: ExecutionStats,
-    ) -> DistributedRelation:
-        """Ship the smaller input to every node (paper's remote join)."""
-        stats.add_shuffle()
-        if node.kind in (JoinKind.SEMI, JoinKind.ANTI, JoinKind.LEFT_OUTER):
-            # The preserved side must stay partitioned; ship the other one.
-            ship_left = False
-        else:
-            ship_left = left.total_rows() <= right.total_rows()
-        shipped, kept = (left, right) if ship_left else (right, left)
-        shipped_rows = [
-            row for partition in shipped.partitions for row in partition
-        ]
-        if shipped.method is not Method.REPLICATED:
-            bytes_each = shipped.props.row_bytes()
-            stats.add_network(
-                bytes_each * len(shipped_rows) * max(self.count - 1, 1),
-                len(shipped_rows) * max(self.count - 1, 1),
-            )
-        if kept.is_single_copy:
-            # Both inputs are now fully available on every node; computing
-            # per partition would emit the result once per node.  Compute
-            # once instead.
-            kept_rows = kept.partitions[0]
-            if ship_left:
-                out = self._join_rows(node, shipped_rows, kept_rows, left, right)
-            else:
-                out = self._join_rows(node, kept_rows, shipped_rows, left, right)
-            stats.add_work(0, len(kept_rows) + len(shipped_rows) + len(out))
-            stats.add_join_event(
-                0,
-                len(kept_rows) if ship_left else len(shipped_rows),
-                len(shipped_rows) if ship_left else len(kept_rows),
-            )
-            return DistributedRelation(
-                annotated.props, [out] + [[] for _ in range(self.count - 1)]
-            )
-        partitions = []
-        for index in range(self.count):
-            kept_rows = kept.node_rows(index)
-            if ship_left:
-                out = self._join_rows(node, shipped_rows, kept_rows, left, right)
-            else:
-                out = self._join_rows(node, kept_rows, shipped_rows, left, right)
-            stats.add_work(index, len(kept_rows) + len(shipped_rows) + len(out))
-            build_rows = len(kept_rows) if ship_left else len(shipped_rows)
-            probe_rows = len(shipped_rows) if ship_left else len(kept_rows)
-            stats.add_join_event(index, build_rows, probe_rows)
-            partitions.append(out)
-        return DistributedRelation(annotated.props, partitions)
-
-    def _join_rows(
-        self,
-        node: Join,
-        left_rows: list[Row],
-        right_rows: list[Row],
-        left: DistributedRelation,
-        right: DistributedRelation,
-    ) -> list[Row]:
-        """Join two row lists on one node (hash join / nested loop)."""
-        residual = None
-        if node.residual is not None:
-            combined = left.props.columns + right.props.columns
-            residual = node.residual.bind(combined)
-        if not node.on:
-            return self._nested_loop(node, left_rows, right_rows, right, residual)
-        left_positions = [left.props.position(l) for l, _ in node.on]
-        right_positions = [right.props.position(r) for _, r in node.on]
-
-        def left_key(row: Row):
-            return tuple(row[p] for p in left_positions)
-
-        def right_key(row: Row):
-            return tuple(row[p] for p in right_positions)
-
-        if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
-            keys = {right_key(row) for row in right_rows}
-            expect = node.kind is JoinKind.SEMI
-            return [row for row in left_rows if (left_key(row) in keys) == expect]
-
-        table: dict[tuple, list[Row]] = {}
-        for row in right_rows:
-            table.setdefault(right_key(row), []).append(row)
-        out: list[Row] = []
-        pad = _null_pad(right.props) if node.kind is JoinKind.LEFT_OUTER else None
-        for row in left_rows:
-            matches = table.get(left_key(row), ())
-            emitted = False
-            for match in matches:
-                combined_row = row + match
-                if residual is None or residual(combined_row):
-                    out.append(combined_row)
-                    emitted = True
-            if pad is not None and not emitted:
-                out.append(row + pad)
-        return out
-
-    def _nested_loop(
-        self,
-        node: Join,
-        left_rows: list[Row],
-        right_rows: list[Row],
-        right: DistributedRelation,
-        residual,
-    ) -> list[Row]:
-        out: list[Row] = []
-        pad = _null_pad(right.props) if node.kind is JoinKind.LEFT_OUTER else None
-        if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
-            expect = node.kind is JoinKind.SEMI
-            result = []
-            for row in left_rows:
-                matched = any(
-                    residual is None or residual(row + other)
-                    for other in right_rows
-                )
-                if matched == expect:
-                    result.append(row)
-            return result
-        for row in left_rows:
-            emitted = False
-            for other in right_rows:
-                combined = row + other
-                if residual is None or residual(combined):
-                    out.append(combined)
-                    emitted = True
-            if pad is not None and not emitted:
-                out.append(row + pad)
-        return out
-
-    # -- aggregation -----------------------------------------------------------------
-
-    def _exec_aggregate(
-        self, annotated: Annotated, stats: ExecutionStats
-    ) -> DistributedRelation:
-        node: Aggregate = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        strategy = annotated.extra["strategy"]
-        group_positions = child.props.positions(node.group_by)
-        agg_fns = [
-            (spec, spec.expr.bind(child.props.columns) if spec.expr else None)
-            for spec in node.aggregates
-        ]
-
-        def aggregate_rows(rows: list[Row]) -> list[Row]:
-            groups: dict[tuple, list] = {}
-            for row in rows:
-                key = tuple(row[p] for p in group_positions)
-                accs = groups.get(key)
-                if accs is None:
-                    accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
-                    groups[key] = accs
-                for acc, (spec, fn) in zip(accs, agg_fns):
-                    acc.add(fn(row) if fn is not None else 1)
-            if not groups and not node.group_by:
-                groups[()] = [make_accumulator(spec.func) for spec, _ in agg_fns]
-            return [
-                key + tuple(acc.result() for acc in accs)
-                for key, accs in groups.items()
-            ]
-
-        if strategy == "single":
-            rows = child.partitions[0]
-            stats.add_work(0, len(rows))
-            return DistributedRelation(annotated.props, [aggregate_rows(rows)])
-
-        if strategy == "local":
-            partitions = []
-            for index, rows in enumerate(child.partitions):
-                out = aggregate_rows(rows)
-                stats.add_work(index, len(rows) + len(out))
-                partitions.append(out)
-            return DistributedRelation(annotated.props, partitions)
-
-        # Two-phase: local partials, ship compact states, merge at targets.
-        stats.add_shuffle()
-        scalar = not node.group_by
-        merged: list[dict[tuple, list]] = [
-            {} for _ in range(1 if scalar else self.count)
-        ]
-        key_bytes = 8 * max(len(node.group_by), 1)
-        for index, rows in enumerate(child.partitions):
-            partials: dict[tuple, list] = {}
-            self._account(stats, child, index, len(rows))
-            for row in rows:
-                key = tuple(row[p] for p in group_positions)
-                accs = partials.get(key)
-                if accs is None:
-                    accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
-                    partials[key] = accs
-                for acc, (spec, fn) in zip(accs, agg_fns):
-                    acc.add(fn(row) if fn is not None else 1)
-            for key, accs in partials.items():
-                target = 0 if scalar else stable_hash(key if len(key) > 1 else key[0]) % self.count
-                if target != index:
-                    stats.add_network(
-                        key_bytes + sum(acc.state_bytes() for acc in accs), 1
-                    )
-                bucket = merged[0 if scalar else target]
-                existing = bucket.get(key)
-                if existing is None:
-                    bucket[key] = accs
-                else:
-                    for acc, other in zip(existing, accs):
-                        acc.merge_state(other.state())
-        result_partitions: list[list[Row]] = []
-        for bucket in merged:
-            if scalar and not bucket:
-                bucket[()] = [make_accumulator(spec.func) for spec, _ in agg_fns]
-            rows = [
-                key + tuple(acc.result() for acc in accs)
-                for key, accs in bucket.items()
-            ]
-            result_partitions.append(rows)
-        if scalar:
-            stats.add_work(0, len(result_partitions[0]))
-            return DistributedRelation(annotated.props, result_partitions)
-        for index, rows in enumerate(result_partitions):
-            stats.add_work(index, len(rows))
-        return DistributedRelation(annotated.props, result_partitions)
-
-    # -- order by ---------------------------------------------------------------------
-
-    def _exec_order_by(
-        self, annotated: Annotated, stats: ExecutionStats
-    ) -> DistributedRelation:
-        node: OrderBy = annotated.node
-        child = self._exec(annotated.inputs[0], stats)
-        rows = self._gather(child, stats)
-        positions = [
-            (child.props.position(column), ascending)
-            for column, ascending in node.keys
-        ]
-        for position, ascending in reversed(positions):
-            rows.sort(key=lambda row: _sort_key(row[position]), reverse=not ascending)
-        if node.limit is not None:
-            rows = rows[: node.limit]
-        stats.add_work(0, len(rows))
-        return DistributedRelation(annotated.props, [rows])
-
-    # -- finalisation -------------------------------------------------------------------
-
-    def _finalise(
-        self, relation: DistributedRelation, stats: ExecutionStats
-    ) -> list[Row]:
-        """Dedup (if needed) and gather the final result on the coordinator."""
-        if relation.props.governing:
-            positions = relation.props.positions(relation.props.governing)
-            filtered = []
-            for index, rows in enumerate(relation.partitions):
-                kept = [
-                    row for row in rows if all(not row[p] for p in positions)
-                ]
-                self._account(stats, relation, index, len(rows))
-                filtered.append(kept)
-            relation = DistributedRelation(relation.props, filtered)
-        return self._gather(relation, stats)
-
-    def _gather(
-        self, relation: DistributedRelation, stats: ExecutionStats
-    ) -> list[Row]:
-        if relation.is_single_copy:
-            return list(relation.partitions[0])
-        row_bytes = relation.props.row_bytes()
-        rows: list[Row] = []
-        for index, partition in enumerate(relation.partitions):
-            rows.extend(partition)
-            if index != 0 and partition:
-                stats.add_network(row_bytes * len(partition), len(partition))
-        return rows
-
-    def _account(
-        self,
-        stats: ExecutionStats,
-        relation: DistributedRelation,
-        index: int,
-        rows: int,
-    ) -> None:
-        """Account work for processing *rows* of partition *index*.
-
-        Replicated relations are processed by every node (each filters or
-        projects its own full copy before feeding partition-local work), so
-        the cost lands on all nodes; gathered relations live on the
-        coordinator only.
-        """
-        if relation.method is Method.REPLICATED:
-            for node in range(self.count):
-                stats.add_work(node, rows)
-        elif relation.method is Method.GATHERED:
-            stats.add_work(0, rows)
-        else:
-            stats.add_work(index, rows)
-
-
-def _sort_key(value: object) -> tuple:
-    """Total ordering across None and mixed values (NULLs sort first)."""
-    if value is None:
-        return (0, 0)
-    if isinstance(value, bool):
-        return (1, int(value))
-    if isinstance(value, (int, float)):
-        return (1, value)
-    return (2, str(value))
-
-
-def _null_pad(props: RelProps) -> Row:
-    """Null padding for outer joins; hidden dup bits pad to 0, not NULL,
-    so padded rows survive PREF duplicate elimination exactly once."""
-    return tuple(
-        0 if is_hidden(column) else None for column in props.columns
-    )

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import PlanningError
 from repro.query.expressions import Expression

@@ -18,7 +18,7 @@ PREF table ``R`` (aliased ``r``) exposes ``__dup@r`` and ``__has@r``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.errors import ExecutionError

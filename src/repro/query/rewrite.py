@@ -26,7 +26,7 @@ from typing import Sequence
 
 from repro.errors import PlanningError
 from repro.partitioning.scheme import HashScheme, PrefScheme, SchemeKind
-from repro.query.expressions import ColumnRef, Expression
+from repro.query.expressions import ColumnRef
 from repro.query.plan import (
     Aggregate,
     DedupFilter,

@@ -136,7 +136,8 @@ def generate_tpcds(scale_factor: float = 0.001, seed: int = 0) -> Database:
     while remaining > 0:
         ticket += 1
         lines = min(remaining, 1 + rng.randrange(12))
-        items = rng.sample(range(1, n_item + 1), min(lines, n_item))
+        # Kept for RNG-stream stability: datasets are deterministic per seed.
+        _items = rng.sample(range(1, n_item + 1), min(lines, n_item))
         for _line in range(lines):
             item = item_zipf.sample()
             store_sales.append(

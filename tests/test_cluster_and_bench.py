@@ -16,7 +16,6 @@ from repro.bench import (
 )
 from repro.cluster import SimulatedCluster
 from repro.design import QuerySpec, SchemaGraph
-from repro.partitioning import JoinPredicate
 from repro.workloads.tpch import ALL_QUERIES, SMALL_TABLES
 
 

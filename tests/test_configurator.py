@@ -10,7 +10,6 @@ from repro.design import (
     is_redundancy_free,
 )
 from repro.design.spanning import maximum_spanning_forest
-from repro.errors import DesignError
 from repro.partitioning import (
     HashScheme,
     JoinPredicate,

@@ -2,19 +2,15 @@
 
 import pytest
 
-from helpers import shop_database
 from repro.design import (
     QuerySpec,
     SchemaDrivenDesigner,
     WorkloadDrivenDesigner,
-    config_data_locality,
     is_redundancy_free,
 )
-from repro.design.graph import SchemaGraph
 from repro.errors import DesignError
 from repro.partitioning import (
     JoinPredicate,
-    PrefScheme,
     check_pref_invariants,
     partition_database,
 )

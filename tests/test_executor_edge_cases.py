@@ -10,7 +10,7 @@ from helpers import (
     shop_database,
 )
 from repro.partitioning import partition_database
-from repro.query import Executor, JoinKind, LocalExecutor, Query
+from repro.query import Executor, LocalExecutor, Query
 from repro.query.expressions import col, lit
 
 

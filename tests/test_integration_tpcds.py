@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import measure_variant, tpcds_variants
-from repro.design import QuerySpec, SchemaGraph
+from repro.design import SchemaGraph
 from repro.partitioning import check_pref_invariants, partition_database
 from repro.workloads.tpcds import (
     FACT_TABLES,

@@ -2,8 +2,8 @@
 
 import pytest
 
-from helpers import pref_chain_config, shop_database
-from repro.catalog import Column, DataType, TableSchema
+from helpers import pref_chain_config
+from repro.catalog import DataType
 from repro.partitioning import (
     HashScheme,
     InvariantViolation,
@@ -18,7 +18,7 @@ from repro.partitioning import (
     per_table_redundancy,
     storage_per_node,
 )
-from repro.storage import Database, PartitionedDatabase, PartitionedTable
+from repro.storage import Database
 
 
 def tiny_config(n=2):
@@ -58,7 +58,7 @@ class TestInvariantChecker:
         table = partitioned.table("r")
         for partition in table.partitions:
             if partition.rows:
-                removed = partition.rows.pop(0)
+                partition.rows.pop(0)
                 partition.source_ids.pop(0)
                 break
         with pytest.raises(InvariantViolation):

@@ -1,10 +1,9 @@
 """The hasS/dup-index optimizations of Section 2.2 (Figure 9 semantics)."""
 
-from helpers import assert_same_rows, pref_chain_config, ref_chain_config
+from helpers import assert_same_rows
 from repro.partitioning import HashScheme, PartitioningConfig, PrefScheme
 from repro.partitioning import JoinPredicate, partition_database
 from repro.query import Executor, LocalExecutor, Query
-from repro.query.expressions import col
 
 
 def customer_orders_partitioned(shop_db, n=6):

@@ -1,7 +1,5 @@
 """Tests for the partitioner, including the paper's Figure 2 example."""
 
-import pytest
-
 from helpers import pref_chain_config, ref_chain_config
 from repro.catalog import DatabaseSchema, DataType
 from repro.partitioning import (
@@ -10,7 +8,6 @@ from repro.partitioning import (
     PartitioningConfig,
     PrefScheme,
     RangeScheme,
-    ReplicatedScheme,
     RoundRobinScheme,
     check_pref_invariants,
     partition_database,

@@ -11,7 +11,7 @@ from helpers import (
 from repro.partitioning import partition_database
 from repro.query import Executor, LocalExecutor, Query
 from repro.query.expressions import and_, col, lit
-from repro.query.pruning import PruneInfo, derive_prune_info, equality_bindings
+from repro.query.pruning import derive_prune_info, equality_bindings
 
 
 class TestEqualityBindings:

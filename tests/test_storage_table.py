@@ -4,7 +4,7 @@ import pytest
 
 from helpers import shop_database, shop_schema
 from repro.errors import RowShapeError, UnknownObjectError
-from repro.storage import Database, Table
+from repro.storage import Database
 
 
 class TestTable:

@@ -5,7 +5,6 @@ import pytest
 from helpers import assert_same_rows, shop_database
 from repro.cluster import WorkloadCluster
 from repro.design import QuerySpec, SchemaDrivenDesigner
-from repro.errors import DesignError
 from repro.partitioning import JoinPredicate, partition_database
 from repro.query import LocalExecutor
 

@@ -2,7 +2,6 @@
 
 import pytest
 
-from helpers import shop_database
 from repro.design import (
     GraphEdge,
     QuerySpec,
