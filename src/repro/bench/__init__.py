@@ -3,11 +3,13 @@
 from repro.bench.harness import (
     paper_cost_parameters,
     AccuracyPoint,
+    BackendRun,
     LocalityRedundancy,
     QueryRun,
     Variant,
     actual_redundancy,
     bulk_load_variant,
+    compare_backends,
     estimation_accuracy,
     materialize_variant,
     measure_variant,
@@ -22,11 +24,13 @@ from repro.bench.reporting import format_table
 __all__ = [
     "paper_cost_parameters",
     "AccuracyPoint",
+    "BackendRun",
     "LocalityRedundancy",
     "QueryRun",
     "Variant",
     "actual_redundancy",
     "bulk_load_variant",
+    "compare_backends",
     "estimation_accuracy",
     "format_table",
     "materialize_variant",

@@ -350,9 +350,14 @@ def run_workload(
     """Execute *queries* under *variant*, returning simulated runtimes.
 
     *backend* selects the engine scheduling backend shared by every
-    executor of the variant (default: serial execution).
+    executor of the variant — a :class:`~repro.engine.backends.Backend`
+    instance or a name from :data:`~repro.engine.backends.BACKENDS`
+    (default: serial execution).
     """
+    from repro.engine.backends import make_backend
+
     cost = cost or CostParameters()
+    backend = make_backend(backend)
     partitioned = materialize_variant(database, variant)
     executors = [
         Executor(dp, optimizations=optimizations, backend=backend, cost=cost)
@@ -372,6 +377,90 @@ def run_workload(
             operators=result.operators,
         )
     return runs
+
+
+@dataclass
+class BackendRun:
+    """One query under one backend: output, cost model, and wall clock."""
+
+    backend: str
+    query: str
+    rows: list
+    canonical: tuple  #: ``ExecutionStats.canonical()`` of the run
+    wall_seconds: float
+
+
+def compare_backends(
+    database: Database,
+    variant: Variant,
+    queries: Mapping[str, PlanNode],
+    backends: Mapping[str, object] | Sequence[str] = (
+        "serial",
+        "thread",
+        "process",
+    ),
+    cost: CostParameters | None = None,
+    optimizations: bool = True,
+    check: bool = True,
+) -> dict[str, dict[str, BackendRun]]:
+    """Run *queries* once per backend and compare outputs and stats.
+
+    This is the scheduling-backend axis of the bench harness: the same
+    partitioned database and plans, executed by each named backend, with
+    real wall-clock timings.  Rows and the cost model's canonical stats
+    must be identical across backends — with ``check=True`` (the default)
+    any divergence raises ``AssertionError`` naming the query, backend
+    and quantity.
+
+    *backends* maps display names to backend instances/names, or is a
+    sequence of names from :data:`~repro.engine.backends.BACKENDS`.
+    Returns ``{backend name: {query name: BackendRun}}``.
+    """
+    from repro.engine.backends import make_backend
+
+    cost = cost or CostParameters()
+    if not isinstance(backends, Mapping):
+        backends = {name: name for name in backends}
+    partitioned = materialize_variant(database, variant)
+    results: dict[str, dict[str, BackendRun]] = {}
+    for label, spec in backends.items():
+        backend = make_backend(spec)
+        executors = [
+            Executor(dp, optimizations=optimizations, backend=backend, cost=cost)
+            for dp in partitioned
+        ]
+        runs: dict[str, BackendRun] = {}
+        for name, plan in queries.items():
+            executor = executors[variant.config_for(name)]
+            started = time.perf_counter()
+            result = executor.execute(plan)
+            elapsed = time.perf_counter() - started
+            runs[name] = BackendRun(
+                backend=label,
+                query=name,
+                rows=result.rows,
+                canonical=result.stats.canonical(),
+                wall_seconds=elapsed,
+            )
+        results[label] = runs
+        if backend is not None:
+            backend.close()
+    if check and len(results) > 1:
+        labels = list(results)
+        reference = results[labels[0]]
+        for label in labels[1:]:
+            for name, run in results[label].items():
+                if run.rows != reference[name].rows:
+                    raise AssertionError(
+                        f"backend {label!r} rows diverge from "
+                        f"{labels[0]!r} on query {name!r}"
+                    )
+                if run.canonical != reference[name].canonical:
+                    raise AssertionError(
+                        f"backend {label!r} ExecutionStats diverge from "
+                        f"{labels[0]!r} on query {name!r}"
+                    )
+    return results
 
 
 def operator_breakdown(

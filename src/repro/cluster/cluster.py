@@ -12,15 +12,17 @@ over MySQL nodes.  Example::
 Queries run on a pluggable engine backend; the default is a
 :class:`~repro.engine.backends.ThreadPoolBackend` shared by every query
 of the cluster, which executes independent per-partition operator tasks
-concurrently between exchange barriers.  Pass
-``backend=SerialBackend()`` for single-threaded execution — results and
-stats are identical by construction (the equivalence suite pins this).
+concurrently between exchange barriers.  Pass ``backend="serial"`` (or a
+:class:`~repro.engine.backends.SerialBackend` instance) for
+single-threaded execution, or ``backend="process"`` for true multicore
+execution on a fork-capable platform — results and stats are identical
+across all backends by construction (the equivalence suite pins this).
 """
 
 from __future__ import annotations
 
 from repro.cluster.node import NodeReport
-from repro.engine.backends import Backend, ThreadPoolBackend
+from repro.engine.backends import Backend, ThreadPoolBackend, make_backend
 from repro.partitioning.bulk_loader import BulkLoader
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.partitioner import partition_database
@@ -46,8 +48,10 @@ class SimulatedCluster:
         locality: Ablation switch — ``False`` makes the rewriter ignore
             the co-partitioning cases (1)-(3) and shuffle every join, as
             an engine unaware of PREF placement would.
-        backend: Engine scheduling backend (default: a thread pool shared
-            across this cluster's queries).
+        backend: Engine scheduling backend — an instance or a name from
+            :data:`~repro.engine.backends.BACKENDS` (``"serial"``,
+            ``"thread"``, ``"process"``).  Default: a thread pool shared
+            across this cluster's queries.
     """
 
     def __init__(
@@ -58,13 +62,13 @@ class SimulatedCluster:
         cost: CostParameters | None = None,
         optimizations: bool = True,
         locality: bool = True,
-        backend: Backend | None = None,
+        backend: Backend | str | None = None,
     ) -> None:
         self.database = database
         self.partitioned = partitioned
         self.config = config
         self.cost = cost or CostParameters()
-        self.backend = backend or ThreadPoolBackend()
+        self.backend = make_backend(backend) or ThreadPoolBackend()
         self.executor = Executor(
             partitioned,
             optimizations=optimizations,
@@ -82,7 +86,7 @@ class SimulatedCluster:
         cost: CostParameters | None = None,
         optimizations: bool = True,
         locality: bool = True,
-        backend: Backend | None = None,
+        backend: Backend | str | None = None,
     ) -> "SimulatedCluster":
         """Partition *database* under *config* and wrap it in a cluster."""
         partitioned = partition_database(database, config)

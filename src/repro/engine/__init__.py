@@ -18,9 +18,19 @@ re-enter half-initialised modules when the engine is imported first
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.engine.backends import Backend, SerialBackend, ThreadPoolBackend
+    from repro.engine.backends import (
+        Backend,
+        ProcessPoolBackend,
+        SerialBackend,
+        TaskPayload,
+        TaskResult,
+        ThreadPoolBackend,
+        build_task_graph,
+        make_backend,
+    )
     from repro.engine.compile import compile_plan
     from repro.engine.context import (
+        ContextDelta,
         ExecutionContext,
         OperatorStats,
         TraceEvent,
@@ -33,7 +43,13 @@ _EXPORTS = {
     "Backend": "repro.engine.backends",
     "SerialBackend": "repro.engine.backends",
     "ThreadPoolBackend": "repro.engine.backends",
+    "ProcessPoolBackend": "repro.engine.backends",
+    "TaskPayload": "repro.engine.backends",
+    "TaskResult": "repro.engine.backends",
+    "build_task_graph": "repro.engine.backends",
+    "make_backend": "repro.engine.backends",
     "compile_plan": "repro.engine.compile",
+    "ContextDelta": "repro.engine.context",
     "ExecutionContext": "repro.engine.context",
     "OperatorStats": "repro.engine.context",
     "TraceEvent": "repro.engine.context",

@@ -15,6 +15,14 @@ flushes them into ``stats.join_events`` sorted by ``(op_id, node)`` at
 :meth:`ExecutionContext.finish`.  Operator ids are assigned in post-order
 by the compiler, so the flushed order is exactly the order the serial
 interpreter used to produce — backends cannot be told apart by stats.
+
+Backends that run tasks outside the coordinator process cannot share the
+context object.  They hand each worker a :class:`ContextDelta` — a
+picklable recorder with the same method surface — and merge the deltas
+back with :meth:`ExecutionContext.merge_delta`.  Every quantity is an
+integer count (work values are row counts stored as floats), so merging
+deltas in any order reproduces the serial totals exactly; join events go
+through the same deferred-sort path as direct recording.
 """
 
 from __future__ import annotations
@@ -62,6 +70,93 @@ class TraceEvent:
     phase: str  #: "prepare" | "exchange" | "partition"
     node_id: int | None
     seconds: float
+
+
+class ContextDelta:
+    """A picklable, commutatively mergeable slice of context accounting.
+
+    Worker processes (and any future remote transport) cannot record into
+    the coordinator's :class:`ExecutionContext`; they record into one of
+    these instead and ship it back with the task results.  The method
+    surface mirrors the context exactly, so operators run unchanged
+    against either.  All quantities are integer counts (work values are
+    row counts held in floats, exact far below 2**53), which is what
+    makes :meth:`ExecutionContext.merge_delta` order-independent.
+
+    Not thread-safe: one delta belongs to one worker.
+    """
+
+    def __init__(self, node_count: int, collect_trace: bool = False) -> None:
+        self.node_count = node_count
+        self.node_work = [0.0] * node_count
+        self.rows_processed = 0
+        self.network_bytes = 0
+        self.rows_shipped = 0
+        self.shuffle_count = 0
+        self.partitions_scanned = 0
+        self.join_events: list[tuple[int, int, int, int]] = []
+        #: op_id -> [per-node work, network bytes, rows shipped, shuffles,
+        #: partitions scanned, rows out]
+        self.op_slots: dict[int, list] = {}
+        self.trace_events: list[TraceEvent] = []
+        #: Non-None makes ``_timed`` measure tasks (mirrors ``ctx.trace``).
+        self.trace = self.trace_events.append if collect_trace else None
+
+    def _slot(self, op_id: int) -> list:
+        slot = self.op_slots.get(op_id)
+        if slot is None:
+            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0]
+            self.op_slots[op_id] = slot
+        return slot
+
+    # -- recording (mirrors ExecutionContext) ------------------------------
+
+    def add_work(self, op: "PhysicalOperator", node: int, rows: float) -> None:
+        self.node_work[node] += rows
+        self.rows_processed += int(rows)
+        self._slot(op.op_id)[0][node] += rows
+
+    def account(
+        self, op: "PhysicalOperator", method: "Method", index: int, rows: float
+    ) -> None:
+        from repro.query.relation import Method
+
+        if method is Method.REPLICATED:
+            for node in range(self.node_count):
+                self.add_work(op, node, rows)
+        elif method is Method.GATHERED:
+            self.add_work(op, 0, rows)
+        else:
+            self.add_work(op, index, rows)
+
+    def add_network(
+        self, op: "PhysicalOperator", byte_count: int, rows: int
+    ) -> None:
+        self.network_bytes += byte_count
+        self.rows_shipped += rows
+        slot = self._slot(op.op_id)
+        slot[1] += byte_count
+        slot[2] += rows
+
+    def add_shuffle(self, op: "PhysicalOperator") -> None:
+        self.shuffle_count += 1
+        self._slot(op.op_id)[3] += 1
+
+    def add_partition_scanned(self, op: "PhysicalOperator") -> None:
+        self.partitions_scanned += 1
+        self._slot(op.op_id)[4] += 1
+
+    def add_join_event(
+        self, op: "PhysicalOperator", node: int, build_rows: int, probe_rows: int
+    ) -> None:
+        self.join_events.append((op.op_id, node, build_rows, probe_rows))
+
+    def add_output(self, op: "PhysicalOperator", rows: int) -> None:
+        self._slot(op.op_id)[5] += rows
+
+    def record_trace(self, event: TraceEvent) -> None:
+        if self.trace is not None:
+            self.trace(event)
 
 
 class ExecutionContext:
@@ -176,6 +271,40 @@ class ExecutionContext:
         """Forward *event* to the trace hook, if one is installed."""
         if self.trace is not None:
             self.trace(event)
+
+    # -- delta merging -----------------------------------------------------
+
+    def delta(self) -> ContextDelta:
+        """A fresh worker-side recorder compatible with this context."""
+        return ContextDelta(self.node_count, collect_trace=self.trace is not None)
+
+    def merge_delta(self, delta: ContextDelta) -> None:
+        """Fold a worker's :class:`ContextDelta` into this context.
+
+        Commutative: every merged quantity is an integer count, and join
+        events flow through the same deferred sort as direct recording,
+        so any merge order reproduces serial execution's stats exactly.
+        """
+        with self._lock:
+            for node, work in enumerate(delta.node_work):
+                self.stats.node_work[node] += work
+            self.stats.rows_processed += delta.rows_processed
+            self.stats.network_bytes += delta.network_bytes
+            self.stats.rows_shipped += delta.rows_shipped
+            self.stats.shuffle_count += delta.shuffle_count
+            self.stats.partitions_scanned += delta.partitions_scanned
+            self._join_events.extend(delta.join_events)
+            for op_id, slot in delta.op_slots.items():
+                target = self._operators[op_id]
+                for node, work in enumerate(slot[0]):
+                    target.node_work[node] += work
+                target.network_bytes += slot[1]
+                target.rows_shipped += slot[2]
+                target.shuffles += slot[3]
+                target.partitions_scanned += slot[4]
+                target.rows_out += slot[5]
+        for event in delta.trace_events:
+            self.record_trace(event)
 
     # -- finalisation ------------------------------------------------------
 

@@ -124,6 +124,56 @@ class PhysicalOperator:
         """Produce output partition *p*."""
         raise NotImplementedError
 
+    # -- distributed task protocol -----------------------------------------
+    #
+    # Backends that run tasks outside the coordinator process (process
+    # pools today, remote transports tomorrow) move task state through
+    # explicit picklable payloads: output partitions via
+    # ``partition_rows``/``store``, and the two operator-internal slots
+    # below.  Operators that never leave the coordinator keep the
+    # defaults.
+
+    #: True if ``run_partition`` reads the inputs' output partitions
+    #: (pipeline semantics).  Barrier operators whose post-exchange tasks
+    #: consume only their own exchange state set this to False, so remote
+    #: schedulers do not ship child rows the task never reads.
+    partition_reads_inputs: bool = True
+
+    def remote_eligible(self, phase: str) -> bool:
+        """Whether *phase* tasks may run outside the coordinator.
+
+        Exchanges are coordinator work by design — they are where row
+        buckets cross task boundaries.  Prepare tasks and pipeline
+        partition tasks are independent per-partition row loops and
+        ship well.
+        """
+        if phase == "exchange":
+            return False
+        return phase == "prepare" or not self.barrier
+
+    def remote_ready(self, phase: str, p: int) -> bool:
+        """Dispatch-time refinement of :meth:`remote_eligible` for
+        operators whose eligibility depends on runtime state."""
+        return True
+
+    def prepare_state(self, p: int) -> object:
+        """The picklable state produced by ``prepare_partition(p)``."""
+        raise NotImplementedError(f"{self.label} has no prepare state")
+
+    def set_prepare_state(self, p: int, state: object) -> None:
+        """Install a shipped prepare state (inverse of
+        :meth:`prepare_state`)."""
+        raise NotImplementedError(f"{self.label} has no prepare state")
+
+    def exchange_state(self) -> object:
+        """The picklable state produced by ``exchange()``."""
+        raise NotImplementedError(f"{self.label} has no exchange state")
+
+    def set_exchange_state(self, state: object) -> None:
+        """Install a shipped exchange state (inverse of
+        :meth:`exchange_state`)."""
+        raise NotImplementedError(f"{self.label} has no exchange state")
+
     # -- shared helpers ----------------------------------------------------
 
     def _input_method(self, index: int = 0) -> Method:
@@ -391,6 +441,20 @@ class PhysicalRepartition(PhysicalOperator):
         ctx.add_output(self, len(rows))
         self.store(p, rows)
 
+    partition_reads_inputs = False
+
+    def prepare_state(self, p: int) -> object:
+        return self._buckets[p]
+
+    def set_prepare_state(self, p: int, state: object) -> None:
+        self._buckets[p] = state
+
+    def exchange_state(self) -> object:
+        return self._staged
+
+    def set_exchange_state(self, state: object) -> None:
+        self._staged = state
+
 
 class PhysicalHashJoin(PhysicalOperator):
     """Hash join (or nested loop without keys) in one of three modes:
@@ -459,9 +523,27 @@ class PhysicalHashJoin(PhysicalOperator):
             return tuple(row[p] for p in right_positions)
 
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
-            keys = {right_key(row) for row in right_rows}
             expect = node.kind is JoinKind.SEMI
-            return [row for row in left_rows if (left_key(row) in keys) == expect]
+            if residual is None:
+                keys = {right_key(row) for row in right_rows}
+                return [
+                    row for row in left_rows if (left_key(row) in keys) == expect
+                ]
+            # A residual restricts which key matches count as partners:
+            # a left row matches only if some key-equal right row also
+            # satisfies the residual on the combined row.
+            partners: dict[tuple, list[Row]] = {}
+            for row in right_rows:
+                partners.setdefault(right_key(row), []).append(row)
+            return [
+                row
+                for row in left_rows
+                if any(
+                    residual(row + other)
+                    for other in partners.get(left_key(row), ())
+                )
+                == expect
+            ]
 
         table: dict[tuple, list[Row]] = {}
         for row in right_rows:
@@ -555,6 +637,25 @@ class PhysicalHashJoin(PhysicalOperator):
             for index in range(1, self.output_count):
                 self.store(index, [])
             self._single_done = True
+
+    # -- distributed task protocol -----------------------------------------
+    # Broadcast probes are heavy row loops, so partition tasks stay
+    # remote-eligible even though the operator is a barrier; when the
+    # exchange already computed the whole result (both inputs single
+    # copies), the leftover partition tasks are no-ops that must stay on
+    # the coordinator, where the staged result lives.
+
+    def remote_eligible(self, phase: str) -> bool:
+        return phase != "exchange"
+
+    def remote_ready(self, phase: str, p: int) -> bool:
+        return not (phase == "partition" and self._single_done)
+
+    def exchange_state(self) -> object:
+        return (self._ship_left, self._shipped_rows, self._single_done)
+
+    def set_exchange_state(self, state: object) -> None:
+        self._ship_left, self._shipped_rows, self._single_done = state
 
     # -- per-partition execution -------------------------------------------
 
@@ -744,6 +845,25 @@ class PhysicalAggregate(PhysicalOperator):
         ctx.add_output(self, len(rows))
         self.store(p, rows)
 
+    # -- distributed task protocol -----------------------------------------
+    # Only consulted for the two_phase (barrier) strategy, whose
+    # run_partition reads the staged merge, never the child; accumulator
+    # objects are plain picklable Python state.
+
+    partition_reads_inputs = False
+
+    def prepare_state(self, p: int) -> object:
+        return self._partials[p]
+
+    def set_prepare_state(self, p: int, state: object) -> None:
+        self._partials[p] = state
+
+    def exchange_state(self) -> object:
+        return self._staged
+
+    def set_exchange_state(self, state: object) -> None:
+        self._staged = state
+
 
 class PhysicalOrderBy(PhysicalOperator):
     """Gather every partition on the coordinator, sort, apply the limit."""
@@ -776,6 +896,14 @@ class PhysicalOrderBy(PhysicalOperator):
         ctx.add_output(self, len(self._staged))
         self.store(0, self._staged)
 
+    partition_reads_inputs = False
+
+    def exchange_state(self) -> object:
+        return self._staged
+
+    def set_exchange_state(self, state: object) -> None:
+        self._staged = state
+
 
 class PhysicalGather(PhysicalOperator):
     """Implicit root: collect the final result on the coordinator."""
@@ -793,6 +921,14 @@ class PhysicalGather(PhysicalOperator):
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         ctx.add_output(self, len(self._staged))
         self.store(0, self._staged)
+
+    partition_reads_inputs = False
+
+    def exchange_state(self) -> object:
+        return self._staged
+
+    def set_exchange_state(self, state: object) -> None:
+        self._staged = state
 
 
 def _gather(

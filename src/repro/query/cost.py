@@ -100,6 +100,24 @@ class ExecutionStats:
         """Weighted row operations on the busiest node (the straggler)."""
         return max(self.node_work) if self.node_work else 0.0
 
+    def canonical(self) -> tuple:
+        """Every observable of the cost model, as a comparable tuple.
+
+        Two runs of a query are cost-model-equivalent iff their canonical
+        tuples are equal; the backend-equivalence suite and the benchmark
+        divergence checks compare backends through this.  Join events are
+        sorted because their recording order is a scheduling artefact.
+        """
+        return (
+            self.network_bytes,
+            self.rows_shipped,
+            self.shuffle_count,
+            tuple(self.node_work),
+            self.rows_processed,
+            self.partitions_scanned,
+            tuple(sorted(self.join_events)),
+        )
+
     def simulated_seconds(self, params: CostParameters | None = None) -> float:
         """Simulated wall-clock runtime under *params*."""
         params = params or CostParameters()

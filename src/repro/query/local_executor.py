@@ -122,10 +122,25 @@ class LocalExecutor:
             return tuple(row[p] for p in right_positions)
 
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
-            keys = {rkey(row) for row in right_rows}
             expect = node.kind is JoinKind.SEMI
+            if residual is None:
+                keys = {rkey(row) for row in right_rows}
+                return left_columns, [
+                    row for row in left_rows if (lkey(row) in keys) == expect
+                ]
+            # Key-equal right rows only count as partners if the residual
+            # also holds on the combined row.
+            partners: dict[tuple, list[Row]] = {}
+            for row in right_rows:
+                partners.setdefault(rkey(row), []).append(row)
             return left_columns, [
-                row for row in left_rows if (lkey(row) in keys) == expect
+                row
+                for row in left_rows
+                if any(
+                    residual(row + other)
+                    for other in partners.get(lkey(row), ())
+                )
+                == expect
             ]
         table: dict[tuple, list[Row]] = {}
         for row in right_rows:

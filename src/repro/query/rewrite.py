@@ -322,9 +322,14 @@ class Rewriter:
                 return optimised
         case, referenced_side = self._locality_case(node, left, right)
         if case is None:
-            if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            if (
+                node.kind in (JoinKind.SEMI, JoinKind.ANTI)
+                and node.residual is None
+            ):
                 # Only the distinct join-key values of the build side are
-                # needed; shuffle those instead of full rows.
+                # needed; shuffle those instead of full rows.  A residual
+                # reads the build side's other columns, so it must see
+                # full rows.
                 right = self._distinct_keys(
                     right, tuple(r for _l, r in node.on)
                 )
@@ -718,6 +723,11 @@ class Rewriter:
     ) -> Annotated | None:
         """Paper's hasS rewrite: semi/anti join -> local bitmap filter."""
         if not self.optimizations:
+            return None
+        # The hasS bitmap is precomputed from the PREF key equality alone;
+        # a residual predicate restricts which partners count, which the
+        # bitmap cannot express — fall through to a real semi/anti join.
+        if node.residual is not None:
             return None
         # Right side must be the complete content of a single base table S.
         right_tables = {

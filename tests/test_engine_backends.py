@@ -18,7 +18,13 @@ from helpers import assert_same_rows, pref_chain_config
 from repro.bench import Variant, materialize_variant, tpch_variants
 from repro.cluster import SimulatedCluster
 from repro.design import QuerySpec, SchemaDrivenDesigner
-from repro.engine import SerialBackend, ThreadPoolBackend, format_operator_stats
+from repro.engine import (
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    format_operator_stats,
+    make_backend,
+)
 from repro.query import CostParameters, Executor, LocalExecutor
 from repro.sql import sql_to_plan
 from repro.workloads.tpcds import (
@@ -30,18 +36,10 @@ from repro.workloads.tpch import ALL_QUERIES, SMALL_TABLES
 
 def canonical_stats(stats):
     """Every observable of the cost model, as a comparable tuple."""
-    return (
-        stats.network_bytes,
-        stats.rows_shipped,
-        stats.shuffle_count,
-        tuple(stats.node_work),
-        stats.rows_processed,
-        stats.partitions_scanned,
-        tuple(sorted(stats.join_events)),
-    )
+    return stats.canonical()
 
 
-# -- TPC-H: all 22 queries, serial vs thread pool vs local reference --------
+# -- TPC-H: all 22 queries, serial vs thread vs process vs local reference --
 
 
 @pytest.fixture(scope="module")
@@ -57,21 +55,27 @@ def tpch_engines(small_tpch):
     pool = ThreadPoolBackend(max_workers=4)
     serial = Executor(partitioned, backend=SerialBackend())
     threaded = Executor(partitioned, backend=pool)
+    forked = Executor(partitioned, backend=ProcessPoolBackend(max_workers=2))
     local = LocalExecutor(small_tpch)
-    yield serial, threaded, local
+    yield serial, threaded, forked, local
     pool.close()
 
 
 @pytest.mark.parametrize("name", list(ALL_QUERIES))
 def test_tpch_backends_identical(tpch_engines, name):
-    serial, threaded, local = tpch_engines
+    serial, threaded, forked, local = tpch_engines
     build = ALL_QUERIES[name]
     serial_result = serial.execute(build())
     threaded_result = threaded.execute(build())
+    forked_result = forked.execute(build())
     # Rows must match exactly (same values, same order), not just as sets:
-    # the thread pool reorders work, never output.
+    # concurrent backends reorder work, never output.
     assert threaded_result.rows == serial_result.rows
     assert canonical_stats(threaded_result.stats) == canonical_stats(
+        serial_result.stats
+    )
+    assert forked_result.rows == serial_result.rows
+    assert canonical_stats(forked_result.stats) == canonical_stats(
         serial_result.stats
     )
     reference = local.execute(build())
@@ -79,7 +83,7 @@ def test_tpch_backends_identical(tpch_engines, name):
 
 
 def test_tpch_operator_stats_reconcile(tpch_engines):
-    serial, _threaded, _local = tpch_engines
+    serial, _threaded, _forked, _local = tpch_engines
     result = serial.execute(ALL_QUERIES["Q3"]())
     operators = result.operators
     assert operators, "QueryResult.operators should expose the physical plan"
@@ -133,19 +137,25 @@ def tpcds_engines():
     pool = ThreadPoolBackend(max_workers=4)
     serial = Executor(partitioned, backend=SerialBackend())
     threaded = Executor(partitioned, backend=pool)
+    forked = Executor(partitioned, backend=ProcessPoolBackend(max_workers=2))
     local = LocalExecutor(database)
-    yield database, serial, threaded, local
+    yield database, serial, threaded, forked, local
     pool.close()
 
 
 @pytest.mark.parametrize("name", list(TPCDS_QUERIES))
 def test_tpcds_backends_identical(tpcds_engines, name):
-    database, serial, threaded, local = tpcds_engines
+    database, serial, threaded, forked, local = tpcds_engines
     plan = sql_to_plan(TPCDS_QUERIES[name], database.schema)
     serial_result = serial.execute(plan)
     threaded_result = threaded.execute(plan)
+    forked_result = forked.execute(plan)
     assert threaded_result.rows == serial_result.rows
     assert canonical_stats(threaded_result.stats) == canonical_stats(
+        serial_result.stats
+    )
+    assert forked_result.rows == serial_result.rows
+    assert canonical_stats(forked_result.stats) == canonical_stats(
         serial_result.stats
     )
     reference = local.execute(plan)
@@ -163,6 +173,34 @@ class TestClusterFacade:
             assert cluster.executor.backend is cluster.backend
         finally:
             cluster.close()
+
+    @pytest.mark.parametrize(
+        "name,kind",
+        [
+            ("serial", SerialBackend),
+            ("thread", ThreadPoolBackend),
+            ("thread_pool", ThreadPoolBackend),
+            ("process", ProcessPoolBackend),
+            ("process_pool", ProcessPoolBackend),
+        ],
+    )
+    def test_backend_selected_by_name(self, shop_db, name, kind):
+        cluster = SimulatedCluster.partition(
+            shop_db, pref_chain_config(4), backend=name
+        )
+        try:
+            assert isinstance(cluster.backend, kind)
+            result = cluster.sql("SELECT COUNT(*) AS n FROM orders o")
+            assert result.rows == [(60,)]
+        finally:
+            cluster.close()
+
+    def test_make_backend_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_backend("distributed-mainframe")
+        backend = SerialBackend()
+        assert make_backend(backend) is backend
+        assert make_backend(None) is None
 
     def test_result_carries_cluster_cost(self, shop_db):
         cost = CostParameters(network_bandwidth_bytes=1e6, row_scale=100.0)

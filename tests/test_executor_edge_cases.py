@@ -214,3 +214,53 @@ def test_cross_join_with_replicated_kept_side(database):
             Executor(partitioned).execute(plan).rows,
             LocalExecutor(database).execute(plan).rows,
         )
+
+
+@pytest.mark.parametrize("kind", ["semi", "anti"])
+def test_keyed_semi_anti_join_applies_residual(database, kind):
+    """Regression: the keyed semi/anti hash path tested key membership
+    only, silently dropping the residual predicate — a customer with any
+    order at all passed a semi join that should require a *big* order.
+    Checked against plain-Python ground truth and the local reference
+    executor, under every config and with the hasS rewrites on and off
+    (the partner-filter bitmap cannot express residuals and must not
+    fire)."""
+    from repro.query.plan import JoinKind
+
+    join_kind = JoinKind.SEMI if kind == "semi" else JoinKind.ANTI
+    plan = (
+        Query.scan("customer", alias="c")
+        .join(
+            Query.scan("orders", alias="o"),
+            on=[("c.custkey", "o.custkey")],
+            kind=join_kind,
+            residual=(col("o.total") > lit(50.0)),
+        )
+        .order_by(["c.custkey"])
+        .plan()
+    )
+    # Ground truth straight from the base tables.
+    big_spenders = {
+        custkey
+        for _okey, custkey, total in database.table("orders").rows
+        if total > 50.0
+    }
+    expected = [
+        row
+        for row in database.table("customer").rows
+        if (row[0] in big_spenders) == (kind == "semi")
+    ]
+    assert expected, "ground truth should be non-trivial"
+    assert len(expected) != database.table("customer").row_count, (
+        "residual should actually restrict the match set"
+    )
+    assert_same_rows(LocalExecutor(database).execute(plan).rows, expected)
+    for config_builder in CONFIGS:
+        partitioned = partition_database(database, config_builder(4))
+        for optimizations in (True, False):
+            assert_same_rows(
+                Executor(partitioned, optimizations=optimizations)
+                .execute(plan)
+                .rows,
+                expected,
+            )
