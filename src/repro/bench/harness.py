@@ -613,3 +613,42 @@ def _partitioned_only_redundancy(
     if base == 0:
         return 0.0
     return stored / base - 1.0
+
+
+# -- differential fuzzing -------------------------------------------------
+
+
+def fuzz_smoke(
+    cases: int = 500,
+    seeds: Sequence[int] = (0,),
+    backends: Sequence[str] = ("serial", "thread", "process"),
+    check_sqlite: bool = True,
+    out: str | None = None,
+):
+    """Bench-harness entry point for the differential fuzzing oracle.
+
+    Runs *cases* generated cases per seed through every backend and the
+    single-node oracles (``repro.fuzz``), raising ``AssertionError`` on
+    the first divergence or invariant violation — the same contract as
+    :func:`compare_backends`, but over randomised schemas, PREF configs,
+    NULL-bearing data and SPJA queries instead of a fixed workload.  On
+    failure the minimised repro is written to *out* (when given) for
+    replay with ``python -m repro.fuzz --replay``.
+
+    Returns ``{seed: FuzzReport}`` for reporting.
+    """
+    from repro.fuzz.runner import run_fuzz
+
+    reports = {}
+    for seed in seeds:
+        report = run_fuzz(
+            cases,
+            seed,
+            backends=tuple(backends),
+            check_sqlite=check_sqlite,
+            out=out,
+        )
+        reports[seed] = report
+        if not report.ok:
+            raise AssertionError(report.summary())
+    return reports

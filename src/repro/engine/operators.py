@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.engine.context import ExecutionContext
-from repro.engine.rows import Row, _null_pad, _sort_key
+from repro.engine.rows import Row, _null_free_key, _null_pad, _sort_key
 from repro.partitioning.scheme import stable_hash
 from repro.query.aggregates import make_accumulator
 from repro.query.plan import Aggregate, Join, JoinKind, OrderBy, Repartition
@@ -525,16 +525,24 @@ class PhysicalHashJoin(PhysicalOperator):
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
             expect = node.kind is JoinKind.SEMI
             if residual is None:
-                keys = {right_key(row) for row in right_rows}
+                keys = {
+                    key
+                    for row in right_rows
+                    if _null_free_key(key := right_key(row))
+                }
                 return [
-                    row for row in left_rows if (left_key(row) in keys) == expect
+                    row
+                    for row in left_rows
+                    if (_null_free_key(key := left_key(row)) and key in keys)
+                    == expect
                 ]
             # A residual restricts which key matches count as partners:
             # a left row matches only if some key-equal right row also
             # satisfies the residual on the combined row.
             partners: dict[tuple, list[Row]] = {}
             for row in right_rows:
-                partners.setdefault(right_key(row), []).append(row)
+                if _null_free_key(key := right_key(row)):
+                    partners.setdefault(key, []).append(row)
             return [
                 row
                 for row in left_rows
@@ -547,7 +555,8 @@ class PhysicalHashJoin(PhysicalOperator):
 
         table: dict[tuple, list[Row]] = {}
         for row in right_rows:
-            table.setdefault(right_key(row), []).append(row)
+            if _null_free_key(key := right_key(row)):
+                table.setdefault(key, []).append(row)
         out: list[Row] = []
         pad = self.pad
         for row in left_rows:

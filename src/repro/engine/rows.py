@@ -26,6 +26,15 @@ def _sort_key(value: object) -> tuple:
     return (2, str(value))
 
 
+def _null_free_key(key: tuple) -> bool:
+    """SQL equality: a join key containing NULL never matches anything.
+
+    Keyed join paths must skip NULL-bearing keys on both sides instead of
+    letting Python's ``None == None`` pair them up.
+    """
+    return all(value is not None for value in key)
+
+
 def _null_pad(props: RelProps) -> Row:
     """Null padding for outer joins; hidden dup bits pad to 0, not NULL,
     so padded rows survive PREF duplicate elimination exactly once."""

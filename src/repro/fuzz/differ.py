@@ -1,0 +1,79 @@
+"""Row-set canonicalisation and comparison for the differential runner.
+
+Two comparison strengths:
+
+* **exact** — used between engine backends (serial vs thread vs process):
+  the backends are required to produce *identical* row lists and
+  canonical :class:`~repro.query.cost.ExecutionStats`.
+* **tolerant multiset** — used against the oracles: row order is
+  unspecified and floating-point aggregates may differ in the last ulp
+  (two-phase partial merges sum in a different order than a naive
+  single pass), so rows are sorted into a canonical order and floats
+  compared with a tiny relative tolerance.  SQL type coercions are
+  honoured: ``True == 1`` and ``1 == 1.0``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.rows import _sort_key
+
+Row = tuple
+
+
+def canonical_rows(rows: list) -> list[Row]:
+    """Rows as tuples, sorted into a total order (NULLs first)."""
+    return sorted(
+        (tuple(row) for row in rows),
+        key=lambda row: tuple(_sort_key(value) for value in row),
+    )
+
+
+def values_equal(a: object, b: object, tolerance: bool = True) -> bool:
+    """SQL-value equality; floats compared with tolerance when asked."""
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        # bool is an int subclass: True == 1, matching SQL storage.
+        if tolerance and (isinstance(a, float) or isinstance(b, float)):
+            return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+        return a == b
+    return a == b
+
+
+def rows_equal(a: list, b: list, tolerance: bool = True) -> bool:
+    """Multiset equality of two row collections."""
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(canonical_rows(a), canonical_rows(b)):
+        if len(row_a) != len(row_b):
+            return False
+        if not all(
+            values_equal(va, vb, tolerance=tolerance)
+            for va, vb in zip(row_a, row_b)
+        ):
+            return False
+    return True
+
+
+def diff_summary(label_a: str, a: list, label_b: str, b: list, limit: int = 3) -> str:
+    """Human-readable first-differences summary for divergence reports."""
+    ca, cb = canonical_rows(a), canonical_rows(b)
+    lines = [f"{label_a}: {len(ca)} rows, {label_b}: {len(cb)} rows"]
+    shown = 0
+    for i in range(max(len(ca), len(cb))):
+        row_a = ca[i] if i < len(ca) else "<missing>"
+        row_b = cb[i] if i < len(cb) else "<missing>"
+        if (
+            row_a == "<missing>"
+            or row_b == "<missing>"
+            or len(row_a) != len(row_b)
+            or not all(values_equal(x, y) for x, y in zip(row_a, row_b))
+        ):
+            lines.append(f"  row {i}: {label_a}={row_a!r} {label_b}={row_b!r}")
+            shown += 1
+            if shown >= limit:
+                lines.append("  ...")
+                break
+    return "\n".join(lines)

@@ -1,0 +1,478 @@
+"""Seeded generation of random fuzz cases.
+
+Everything is driven by one :class:`random.Random` seeded from the case
+identity, so ``generate_case(seed, index)`` is fully deterministic — the
+property the CI smoke job and the replayable repro format rely on.
+
+The generator aims for *semantic* coverage rather than volume:
+
+* schemas form FK chains/trees so PREF configurations are possible;
+* data is small, skewed (repeated key values) and NULL-bearing, with
+  dangling foreign keys mixed in;
+* partitioning configurations combine PREF chains with every seed scheme
+  (hash, range, round-robin, replicated);
+* queries are SPJA trees: equi-joins along and across the reference
+  edges (inner / left-outer / semi / anti, occasionally cross), residual
+  theta predicates, filters with NULL literals, ``IN`` lists containing
+  NULL, Kleene combinations, grouped and scalar aggregates, DISTINCT
+  projections and ORDER BY — everything the three-valued-logic contract
+  in :mod:`repro.query.expressions` covers;
+* about half the cases bulk-load extra batches (including new referenced
+  keys, which exercises locality propagation) and re-run every query.
+"""
+
+from __future__ import annotations
+
+import random
+
+_DATA_TYPES = ("integer", "float", "varchar", "boolean")
+
+_INT_POOL = (0, 0, 0, 1, 1, 2, 3, 5, 8, 13, 21)
+_FLOAT_POOL = (0.0, 0.5, 1.5, 2.25, -3.75, 10.0, 0.1)
+_STR_POOL = ("a", "b", "c", "ab", "ba", "zz", "")
+
+_CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+_THETA_OPS = ("!=", "<", "<=", ">", ">=")
+
+
+def generate_case(seed: int, index: int = 0) -> dict:
+    """Generate one deterministic fuzz case for ``(seed, index)``."""
+    rng = random.Random(f"repro-fuzz/{seed}/{index}")
+    tables, parents = _gen_tables(rng)
+    partitions = rng.randint(2, 4)
+    config = _gen_config(rng, tables, parents, partitions)
+    case = {
+        "seed": f"{seed}/{index}",
+        "partitions": partitions,
+        "tables": tables,
+        "config": config,
+        "queries": [],
+        "loads": _gen_loads(rng, tables, parents),
+        "variant": {
+            "optimizations": rng.random() < 0.5,
+            "locality": rng.random() < 0.5,
+        },
+    }
+    for _ in range(rng.randint(1, 3)):
+        case["queries"].append(_gen_query(rng, tables, parents))
+    return case
+
+
+# -- schema and data -------------------------------------------------------
+
+
+def _gen_tables(rng: random.Random) -> tuple[list[dict], dict[str, str]]:
+    """Tables with data, plus the FK edge map ``{child: parent}``."""
+    count = rng.randint(2, 4)
+    tables: list[dict] = []
+    parents: dict[str, str] = {}
+    ids_by_table: dict[str, list[int]] = {}
+    for i in range(count):
+        name = f"t{i}"
+        columns: list[list] = [["id", "integer", False]]
+        for d in range(rng.randint(1, 3)):
+            dtype = rng.choice(_DATA_TYPES)
+            columns.append([f"d{d}", dtype, rng.random() < 0.6])
+        parent = None
+        if i > 0 and rng.random() < 0.8:
+            parent = f"t{rng.randrange(i)}"
+            parents[name] = parent
+            columns.append([f"fk_{parent}", "integer", True])
+        ids = sorted(rng.sample(range(0, 60), rng.randint(4, 24)))
+        ids_by_table[name] = ids
+        rows = []
+        for row_id in ids:
+            row: list = [row_id]
+            for col_name, dtype, nullable in columns[1:]:
+                if col_name.startswith("fk_"):
+                    row.append(_gen_fk(rng, ids_by_table[parent]))
+                else:
+                    row.append(_gen_value(rng, dtype, nullable))
+            rows.append(row)
+        tables.append(
+            {"name": name, "columns": columns, "pk": ["id"], "rows": rows}
+        )
+    return tables, parents
+
+
+def _gen_value(rng: random.Random, dtype: str, nullable: bool) -> object:
+    if nullable and rng.random() < 0.25:
+        return None
+    if dtype == "integer":
+        return rng.choice(_INT_POOL) if rng.random() < 0.8 else rng.randint(-5, 50)
+    if dtype == "float":
+        return rng.choice(_FLOAT_POOL)
+    if dtype == "varchar":
+        return rng.choice(_STR_POOL)
+    return rng.random() < 0.5
+
+
+def _gen_fk(rng: random.Random, parent_ids: list[int]) -> object:
+    roll = rng.random()
+    if roll < 0.15:
+        return None  # NULL FK: partner-less by definition
+    if roll < 0.30:
+        return rng.randint(0, 70)  # possibly dangling
+    return rng.choice(parent_ids)
+
+
+# -- partitioning configuration --------------------------------------------
+
+
+def _gen_config(
+    rng: random.Random,
+    tables: list[dict],
+    parents: dict[str, str],
+    partitions: int,
+) -> dict:
+    config: dict[str, dict] = {}
+    for table in tables:
+        name = table["name"]
+        parent = parents.get(name)
+        if (
+            parent is not None
+            and config[parent]["kind"] != "replicated"
+            and rng.random() < 0.65
+        ):
+            config[name] = {
+                "kind": "pref",
+                "referenced": parent,
+                "on": [[f"fk_{parent}", "id"]],
+            }
+            continue
+        roll = rng.random()
+        if roll < 0.45:
+            columns = ["id"]
+            if parent is not None and rng.random() < 0.3:
+                columns = [f"fk_{parent}"]
+            config[name] = {"kind": "hash", "columns": columns}
+        elif roll < 0.65:
+            config[name] = {
+                "kind": "range",
+                "column": "id",
+                "boundaries": sorted(rng.sample(range(5, 55), partitions - 1)),
+            }
+        elif roll < 0.85:
+            config[name] = {"kind": "round_robin"}
+        else:
+            config[name] = {"kind": "replicated"}
+    return config
+
+
+# -- incremental loads -----------------------------------------------------
+
+
+def _gen_loads(
+    rng: random.Random, tables: list[dict], parents: dict[str, str]
+) -> dict:
+    if rng.random() < 0.5:
+        return {}
+    loads: dict[str, list[list]] = {}
+    fresh = iter(rng.sample(range(100, 400), 64))
+    chosen = rng.sample(tables, rng.randint(1, min(2, len(tables))))
+    loaded_ids: dict[str, list[int]] = {}
+    base_ids = {
+        t["name"]: [row[0] for row in t["rows"]] for t in tables
+    }
+    for table in sorted(chosen, key=lambda t: t["name"]):
+        name = table["name"]
+        parent = parents.get(name)
+        rows = []
+        for _ in range(rng.randint(1, 6)):
+            row: list = [next(fresh)]
+            for col_name, dtype, nullable in table["columns"][1:]:
+                if col_name.startswith("fk_"):
+                    # Mix of existing parents, freshly loaded parents
+                    # (exercising locality propagation), NULLs, danglers.
+                    pool = base_ids[parent] + loaded_ids.get(parent, [])
+                    row.append(_gen_fk(rng, pool))
+                else:
+                    row.append(_gen_value(rng, dtype, nullable))
+            rows.append(row)
+        loads[name] = rows
+        loaded_ids[name] = [row[0] for row in rows]
+    return loads
+
+
+# -- queries ---------------------------------------------------------------
+
+
+def _gen_query(
+    rng: random.Random, tables: list[dict], parents: dict[str, str]
+) -> dict:
+    counter = [0]
+
+    def scan(table: dict) -> tuple[dict, list[tuple[str, str]]]:
+        alias = f"a{counter[0]}"
+        counter[0] += 1
+        env = [
+            (f"{alias}.{name}", dtype)
+            for name, dtype, _null in table["columns"]
+        ]
+        node = {"op": "scan", "table": table["name"], "alias": alias}
+        if rng.random() < 0.3:
+            node = {"op": "filter", "input": node, "pred": _gen_pred(rng, env)}
+        return node, env
+
+    node, env = scan(rng.choice(tables))
+    for _ in range(rng.randint(0, 2)):
+        right_table = rng.choice(tables)
+        right, right_env = scan(right_table)
+        node, env = _gen_join(rng, node, env, right, right_env, right_table)
+    if rng.random() < 0.65:
+        node = {"op": "filter", "input": node, "pred": _gen_pred(rng, env)}
+    node, env = _gen_finisher(rng, node, env)
+    if env and rng.random() < 0.25:
+        keys = [
+            [name, rng.random() < 0.7]
+            for name, _ in rng.sample(env, rng.randint(1, min(2, len(env))))
+        ]
+        node = {"op": "order_by", "input": node, "keys": keys}
+    return node
+
+
+def _gen_join(
+    rng: random.Random,
+    left: dict,
+    left_env: list[tuple[str, str]],
+    right: dict,
+    right_env: list[tuple[str, str]],
+    right_table: dict,
+) -> tuple[dict, list[tuple[str, str]]]:
+    kind = rng.choices(
+        ("inner", "left_outer", "semi", "anti", "cross"),
+        weights=(40, 20, 17, 18, 5),
+    )[0]
+    on: list[list[str]] = []
+    if kind != "cross":
+        on = [list(pair) for pair in _pick_join_keys(rng, left_env, right_env)]
+    residual = None
+    if kind == "cross" or (on and rng.random() < 0.3) or not on:
+        residual = _gen_theta(rng, left_env, right_env)
+        if residual is None and not on:
+            kind = "cross"  # no comparable columns at all: plain product
+    node = {
+        "op": "join",
+        "left": left,
+        "right": right,
+        "kind": kind,
+        "on": on,
+        "residual": residual,
+    }
+    if kind in ("semi", "anti"):
+        return node, left_env
+    return node, left_env + right_env
+
+
+def _pick_join_keys(
+    rng: random.Random,
+    left_env: list[tuple[str, str]],
+    right_env: list[tuple[str, str]],
+) -> list[tuple[str, str]]:
+    """Equi-join column pairs, preferring FK -> id reference edges."""
+    # An fk_<table> column paired with any id column is a plausible edge;
+    # a "wrong" pairing (different alias's id) is still a valid equi-join.
+    fk_edges = [
+        (lname, rname)
+        for lname, _ in left_env
+        if lname.split(".", 1)[1].startswith("fk_")
+        for rname, _ in right_env
+        if rname.split(".", 1)[1] == "id"
+    ]
+    fk_edges += [
+        (lname, rname)
+        for rname, _ in right_env
+        if rname.split(".", 1)[1].startswith("fk_")
+        for lname, _ in left_env
+        if lname.split(".", 1)[1] == "id"
+    ]
+    if fk_edges and rng.random() < 0.75:
+        return [rng.choice(fk_edges)]
+    pairs = [
+        (lname, rname)
+        for lname, ldtype in left_env
+        for rname, rdtype in right_env
+        if ldtype == rdtype and ldtype in ("integer", "varchar")
+    ]
+    if not pairs:
+        return []
+    chosen = [rng.choice(pairs)]
+    if len(pairs) > 1 and rng.random() < 0.2:
+        extra = rng.choice(pairs)
+        if extra[0] != chosen[0][0] and extra[1] != chosen[0][1]:
+            chosen.append(extra)
+    return chosen
+
+
+def _gen_theta(
+    rng: random.Random,
+    left_env: list[tuple[str, str]],
+    right_env: list[tuple[str, str]],
+) -> dict | None:
+    for dtype_class in rng.sample(["num", "str"], 2):
+        wanted = ("integer", "float") if dtype_class == "num" else ("varchar",)
+        lhs = [name for name, dtype in left_env if dtype in wanted]
+        rhs = [name for name, dtype in right_env if dtype in wanted]
+        if lhs and rhs:
+            return {
+                "t": "cmp",
+                "op": rng.choice(_THETA_OPS),
+                "l": {"t": "col", "name": rng.choice(lhs)},
+                "r": {"t": "col", "name": rng.choice(rhs)},
+            }
+    return None
+
+
+# -- predicates and expressions --------------------------------------------
+
+
+def _gen_pred(rng: random.Random, env: list[tuple[str, str]], depth: int = 0) -> dict:
+    roll = rng.random()
+    if depth < 2 and roll < 0.25:
+        op = "and" if rng.random() < 0.5 else "or"
+        return {
+            "t": op,
+            "args": [
+                _gen_pred(rng, env, depth + 1)
+                for _ in range(rng.randint(2, 3))
+            ],
+        }
+    if depth < 2 and roll < 0.35:
+        return {"t": "not", "arg": _gen_pred(rng, env, depth + 1)}
+    name, dtype = rng.choice(env)
+    column = {"t": "col", "name": name}
+    roll = rng.random()
+    if roll < 0.15:
+        return {"t": "isnull", "arg": column, "neg": rng.random() < 0.5}
+    if roll < 0.35:
+        vals = [_gen_literal(rng, dtype) for _ in range(rng.randint(0, 4))]
+        if rng.random() < 0.4:
+            vals.append(None)  # NOT IN (... NULL) is never true
+        rng.shuffle(vals)
+        return {
+            "t": "inlist",
+            "arg": column,
+            "vals": vals,
+            "neg": rng.random() < 0.4,
+        }
+    lhs: dict = column
+    if dtype in ("integer", "float") and rng.random() < 0.3:
+        lhs = _gen_arith(rng, env, column, dtype)
+    op = rng.choice(_CMP_OPS if dtype != "boolean" else ("=", "!="))
+    rhs: dict = {"t": "lit", "v": _gen_literal(rng, dtype)}
+    if rng.random() < 0.1:
+        rhs = {"t": "lit", "v": None}  # col <op> NULL: always unknown
+    elif rng.random() < 0.25:
+        peers = [n for n, d in env if d == dtype and n != name]
+        if peers:
+            rhs = {"t": "col", "name": rng.choice(peers)}
+    return {"t": "cmp", "op": op, "l": lhs, "r": rhs}
+
+
+def _gen_arith(
+    rng: random.Random,
+    env: list[tuple[str, str]],
+    column: dict,
+    dtype: str,
+) -> dict:
+    op = rng.choice(("+", "-", "*", "/"))
+    peers = [n for n, d in env if d in ("integer", "float")]
+    if peers and rng.random() < 0.5:
+        other: dict = {"t": "col", "name": rng.choice(peers)}
+    else:
+        other = {"t": "lit", "v": _gen_literal(rng, dtype) or 1}
+    if rng.random() < 0.5:
+        return {"t": "arith", "op": op, "l": column, "r": other}
+    return {"t": "arith", "op": op, "l": other, "r": column}
+
+
+def _gen_literal(rng: random.Random, dtype: str) -> object:
+    if dtype == "integer":
+        return rng.choice(_INT_POOL + (rng.randint(-5, 50),))
+    if dtype == "float":
+        return rng.choice(_FLOAT_POOL)
+    if dtype == "varchar":
+        return rng.choice(_STR_POOL)
+    return rng.random() < 0.5
+
+
+# -- finishers -------------------------------------------------------------
+
+
+def _gen_finisher(
+    rng: random.Random, node: dict, env: list[tuple[str, str]]
+) -> tuple[dict, list[tuple[str, str]]]:
+    roll = rng.random()
+    if roll < 0.4:
+        return _gen_aggregate(rng, node, env)
+    if roll < 0.75:
+        return _gen_project(rng, node, env)
+    return node, env
+
+
+def _gen_aggregate(
+    rng: random.Random, node: dict, env: list[tuple[str, str]]
+) -> tuple[dict, list[tuple[str, str]]]:
+    groupable = [
+        (name, dtype) for name, dtype in env if dtype != "float"
+    ]
+    group_by = [
+        name
+        for name, _ in rng.sample(
+            groupable, rng.randint(0, min(2, len(groupable)))
+        )
+    ]
+    numeric = [name for name, dtype in env if dtype in ("integer", "float")]
+    ordered = [
+        name for name, dtype in env if dtype in ("integer", "float", "varchar")
+    ]
+    aggs: list[list] = []
+    for i in range(rng.randint(1, 3)):
+        name = f"z{i}"
+        roll = rng.random()
+        if roll < 0.2 or not numeric:
+            if roll < 0.1 or not env:
+                aggs.append(["count", None, name])
+            else:
+                target = {"t": "col", "name": rng.choice(env)[0]}
+                func = rng.choice(("count", "count_distinct"))
+                aggs.append([func, target, name])
+        elif roll < 0.6:
+            func = rng.choice(("sum", "avg"))
+            expr: dict = {"t": "col", "name": rng.choice(numeric)}
+            if rng.random() < 0.2:
+                expr = _gen_arith(rng, env, expr, "integer")
+            aggs.append([func, expr, name])
+        else:
+            pool = ordered or [n for n, _ in env]
+            func = rng.choice(("min", "max"))
+            aggs.append([func, {"t": "col", "name": rng.choice(pool)}, name])
+    out = {"op": "aggregate", "input": node, "group_by": group_by, "aggs": aggs}
+    out_env = [
+        (name, dict(env)[name]) for name in group_by
+    ] + [(agg[2], "integer") for agg in aggs]
+    return out, out_env
+
+
+def _gen_project(
+    rng: random.Random, node: dict, env: list[tuple[str, str]]
+) -> tuple[dict, list[tuple[str, str]]]:
+    outputs: list[list] = []
+    out_env: list[tuple[str, str]] = []
+    for i in range(rng.randint(1, min(4, len(env)))):
+        name, dtype = rng.choice(env)
+        expr: dict = {"t": "col", "name": name}
+        if dtype in ("integer", "float") and rng.random() < 0.25:
+            expr = _gen_arith(rng, env, expr, dtype)
+            dtype = "float"
+        outputs.append([f"c{i}", expr])
+        out_env.append((f"c{i}", dtype))
+    return (
+        {
+            "op": "project",
+            "input": node,
+            "outputs": outputs,
+            "distinct": rng.random() < 0.3,
+        },
+        out_env,
+    )

@@ -1,0 +1,260 @@
+"""Naive single-node ground truth, written directly against the case IR.
+
+This evaluator deliberately shares **no code** with the engine: nested
+loops, explicit three-valued logic, hand-rolled aggregates.  Agreement
+with the engine is therefore evidence that both implement SQL semantics,
+not that they share a bug.  (A second, external reference — ``sqlite3``
+— cross-checks this oracle in turn; see :mod:`repro.fuzz.sqlite_oracle`.)
+
+Rows are returned as plain tuples; ordering is unspecified (the differ
+compares multisets).
+"""
+
+from __future__ import annotations
+
+Row = tuple
+Relation = tuple[list[str], list[Row]]
+
+
+class OracleError(Exception):
+    """The oracle could not evaluate the query (bad IR, unknown column)."""
+
+
+def evaluate_query(
+    tables: dict[str, tuple[list[str], list[Row]]], node: dict
+) -> Relation:
+    """Evaluate query IR *node* against *tables* ``{name: (columns, rows)}``."""
+    op = node["op"]
+    if op == "scan":
+        try:
+            columns, rows = tables[node["table"]]
+        except KeyError:
+            raise OracleError(f"unknown table {node['table']!r}") from None
+        alias = node.get("alias") or node["table"]
+        return [f"{alias}.{name}" for name in columns], list(rows)
+    if op == "filter":
+        columns, rows = evaluate_query(tables, node["input"])
+        pred = node["pred"]
+        kept = [
+            row
+            for row in rows
+            if _eval_bool(pred, columns, row) is True
+        ]
+        return columns, kept
+    if op == "project":
+        columns, rows = evaluate_query(tables, node["input"])
+        out_columns = [name for name, _ in node["outputs"]]
+        exprs = [expr for _, expr in node["outputs"]]
+        out = [
+            tuple(_eval_value(expr, columns, row) for expr in exprs)
+            for row in rows
+        ]
+        if node.get("distinct"):
+            out = list(dict.fromkeys(out))
+        return out_columns, out
+    if op == "join":
+        return _join(tables, node)
+    if op == "aggregate":
+        return _aggregate(tables, node)
+    if op == "order_by":
+        # Ordering is not observable through the multiset comparison, and
+        # the generator never emits LIMIT; pass rows through unchanged.
+        if any(len(key) > 2 for key in node["keys"]):
+            raise OracleError("LIMIT is not supported by the oracle")
+        return evaluate_query(tables, node["input"])
+    raise OracleError(f"unknown query IR op {op!r}")
+
+
+# -- joins -----------------------------------------------------------------
+
+
+def _join(tables: dict, node: dict) -> Relation:
+    left_columns, left_rows = evaluate_query(tables, node["left"])
+    right_columns, right_rows = evaluate_query(tables, node["right"])
+    combined = left_columns + right_columns
+    on = [tuple(pair) for pair in node.get("on", ())]
+    residual = node.get("residual")
+    kind = node["kind"]
+
+    left_pos = [_position(left_columns, l) for l, _ in on]
+    right_pos = [_position(right_columns, r) for _, r in on]
+
+    def matches(lrow: Row, rrow: Row) -> bool:
+        for lp, rp in zip(left_pos, right_pos):
+            lval, rval = lrow[lp], rrow[rp]
+            if lval is None or rval is None or lval != rval:
+                return False  # NULL keys never match
+        if residual is not None:
+            return _eval_bool(residual, combined, lrow + rrow) is True
+        return True
+
+    if kind in ("semi", "anti"):
+        expect = kind == "semi"
+        return left_columns, [
+            lrow
+            for lrow in left_rows
+            if any(matches(lrow, rrow) for rrow in right_rows) == expect
+        ]
+    out: list[Row] = []
+    pad = (None,) * len(right_columns)
+    for lrow in left_rows:
+        hit = False
+        for rrow in right_rows:
+            if matches(lrow, rrow):
+                out.append(lrow + rrow)
+                hit = True
+        if kind == "left_outer" and not hit:
+            out.append(lrow + pad)
+    return combined, out
+
+
+# -- aggregation -----------------------------------------------------------
+
+
+def _aggregate(tables: dict, node: dict) -> Relation:
+    columns, rows = evaluate_query(tables, node["input"])
+    group_by = list(node.get("group_by", ()))
+    group_pos = [_position(columns, name) for name in group_by]
+    groups: dict[tuple, list[Row]] = {}
+    for row in rows:
+        groups.setdefault(tuple(row[p] for p in group_pos), []).append(row)
+    if not groups and not group_by:
+        groups[()] = []  # scalar aggregate over empty input: one row
+    out_columns = group_by + [name for _f, _e, name in node["aggs"]]
+    out = []
+    for key, members in groups.items():
+        values = tuple(
+            _agg_one(func, expr, columns, members)
+            for func, expr, _name in node["aggs"]
+        )
+        out.append(key + values)
+    return out_columns, out
+
+
+def _agg_one(func: str, expr: dict | None, columns: list[str], rows: list[Row]):
+    if func == "count" and expr is None:
+        return len(rows)
+    inputs = [_eval_value(expr, columns, row) for row in rows]
+    non_null = [v for v in inputs if v is not None]
+    if func == "count":
+        return len(non_null)
+    if func == "count_distinct":
+        return len(set(non_null))
+    if func == "sum":
+        return sum(non_null) if non_null else None
+    if func == "avg":
+        return sum(non_null) / len(non_null) if non_null else None
+    if func == "min":
+        return min(non_null) if non_null else None
+    if func == "max":
+        return max(non_null) if non_null else None
+    raise OracleError(f"unknown aggregate {func!r}")
+
+
+# -- expressions -----------------------------------------------------------
+
+
+def _position(columns: list[str], name: str) -> int:
+    if name in columns:
+        return columns.index(name)
+    suffix = "." + name
+    hits = [i for i, c in enumerate(columns) if c.endswith(suffix)]
+    if len(hits) != 1:
+        raise OracleError(f"cannot resolve column {name!r} in {columns}")
+    return hits[0]
+
+
+def _eval_value(node: dict, columns: list[str], row: Row):
+    """Evaluate a value expression; ``None`` is SQL NULL."""
+    kind = node["t"]
+    if kind == "col":
+        return row[_position(columns, node["name"])]
+    if kind == "lit":
+        return node["v"]
+    if kind == "arith":
+        lhs = _eval_value(node["l"], columns, row)
+        if lhs is None:
+            return None
+        rhs = _eval_value(node["r"], columns, row)
+        if rhs is None:
+            return None
+        op = node["op"]
+        if op == "+":
+            return lhs + rhs
+        if op == "-":
+            return lhs - rhs
+        if op == "*":
+            return lhs * rhs
+        if op == "/":
+            return None if rhs == 0 else lhs / rhs
+        raise OracleError(f"unknown arithmetic op {op!r}")
+    # Boolean sub-expressions can appear in value position (projections).
+    return _eval_bool(node, columns, row)
+
+
+def _eval_bool(node: dict, columns: list[str], row: Row):
+    """Evaluate a predicate under three-valued logic: True/False/None."""
+    kind = node["t"]
+    if kind == "cmp":
+        lhs = _eval_value(node["l"], columns, row)
+        if lhs is None:
+            return None
+        rhs = _eval_value(node["r"], columns, row)
+        if rhs is None:
+            return None
+        op = node["op"]
+        if op == "=":
+            return lhs == rhs
+        if op == "!=":
+            return lhs != rhs
+        if op == "<":
+            return lhs < rhs
+        if op == "<=":
+            return lhs <= rhs
+        if op == ">":
+            return lhs > rhs
+        if op == ">=":
+            return lhs >= rhs
+        raise OracleError(f"unknown comparison op {op!r}")
+    if kind == "and":
+        unknown = False
+        for arg in node["args"]:
+            value = _eval_bool(arg, columns, row)
+            if value is None:
+                unknown = True
+            elif not value:
+                return False
+        return None if unknown else True
+    if kind == "or":
+        unknown = False
+        for arg in node["args"]:
+            value = _eval_bool(arg, columns, row)
+            if value is None:
+                unknown = True
+            elif value:
+                return True
+        return None if unknown else False
+    if kind == "not":
+        value = _eval_bool(node["arg"], columns, row)
+        return None if value is None else not value
+    if kind == "isnull":
+        is_null = _eval_value(node["arg"], columns, row) is None
+        return not is_null if node.get("neg") else is_null
+    if kind == "inlist":
+        value = _eval_value(node["arg"], columns, row)
+        vals = node["vals"]
+        has_null = any(v is None for v in vals)
+        non_null = [v for v in vals if v is not None]
+        if value is None:
+            result = None if (non_null or has_null) else False
+        elif any(value == v for v in non_null):
+            result = True
+        else:
+            result = None if has_null else False
+        if node.get("neg"):
+            return None if result is None else not result
+        return result
+    if kind in ("col", "lit", "arith"):
+        # A bare value in boolean position (shrinker may produce these).
+        return _eval_value(node, columns, row)
+    raise OracleError(f"unknown expression IR node {kind!r}")

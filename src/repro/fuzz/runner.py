@@ -1,0 +1,357 @@
+"""The differential runner: one case in, one (optional) divergence out.
+
+For every case the runner:
+
+1. builds the unpartitioned database and partitioning configuration,
+   partitions, and checks :func:`check_pref_invariants` (``exact=True``);
+2. executes every query on the serial backend (the reference) and on
+   each requested additional backend, requiring *identical* rows and
+   canonical :class:`ExecutionStats`;
+3. re-executes on a rewriter-ablation variant (random
+   ``optimizations``/``locality`` flags) and compares rows — the
+   rewritten and naive plans must agree;
+4. cross-checks rows against :class:`LocalExecutor`, the naive IR
+   oracle, and sqlite3 (tolerant multiset comparison);
+5. if the case has bulk-load batches, applies them through
+   :class:`BulkLoader`, re-checks invariants (``exact=False`` — stale
+   round-robin copies of formerly partner-less tuples are legal), and
+   repeats step 2–4 in the ``after_load`` phase.
+
+The first check to fail produces a :class:`Divergence`; ``None`` means
+the case passed everything.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.engine.backends import Backend, SerialBackend, make_backend
+from repro.fuzz import ir
+from repro.fuzz.differ import diff_summary, rows_equal
+from repro.fuzz.generator import generate_case
+from repro.fuzz.oracle import OracleError, evaluate_query
+from repro.fuzz.sqlite_oracle import SqlTranslationError, run_sqlite
+from repro.partitioning.bulk_loader import BulkLoader
+from repro.partitioning.invariants import InvariantViolation, check_pref_invariants
+from repro.partitioning.partitioner import partition_database
+from repro.query.executor import Executor
+from repro.query.local_executor import LocalExecutor
+
+DEFAULT_BACKENDS = ("serial", "thread", "process")
+
+#: Reused pools: thread/process backends are safely shareable between
+#: executors and cases (the process backend forks per query anyway).
+_SHARED: dict[str, Backend] = {}
+
+
+def _backend_for(spec: str) -> Backend:
+    if spec == "serial":
+        return SerialBackend()
+    if spec not in _SHARED:
+        _SHARED[spec] = make_backend(spec, max_workers=2)
+    return _SHARED[spec]
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement (or crash, or invariant violation)."""
+
+    kind: str
+    detail: str
+    phase: str = "initial"
+    query_index: int | None = None
+
+    def describe(self) -> str:
+        where = f" [phase={self.phase}"
+        if self.query_index is not None:
+            where += f", query={self.query_index}"
+        where += "]"
+        return f"{self.kind}{where}: {self.detail}"
+
+
+def run_case(
+    case: dict,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    check_sqlite: bool = True,
+) -> Divergence | None:
+    """Run one case through every check; None means fully consistent."""
+    try:
+        database = ir.build_database(case)
+        config = ir.build_config(case)
+        config.validate(database.schema)
+    except Exception as exc:  # noqa: BLE001 - classified for the shrinker
+        return Divergence(f"invalid_case:{type(exc).__name__}", str(exc))
+    try:
+        partitioned = partition_database(database, config)
+    except Exception as exc:  # noqa: BLE001
+        return Divergence(f"error:partition:{type(exc).__name__}", str(exc))
+    try:
+        check_pref_invariants(partitioned, config, exact=True)
+    except InvariantViolation as exc:
+        return Divergence("invariant", str(exc), phase="initial")
+
+    reference = Executor(partitioned, backend=SerialBackend())
+    others = [
+        (spec, Executor(partitioned, backend=_backend_for(spec)))
+        for spec in backends
+        if spec != "serial"
+    ]
+    variant = case.get("variant")
+    variant_executor = (
+        Executor(
+            partitioned,
+            optimizations=bool(variant.get("optimizations", True)),
+            locality=bool(variant.get("locality", True)),
+            backend=SerialBackend(),
+        )
+        if variant is not None
+        else None
+    )
+    tables = ir.case_tables(case)
+    schemas = {
+        table["name"]: [(name, dtype) for name, dtype, _null in table["columns"]]
+        for table in case["tables"]
+    }
+
+    phases: list[tuple[str, dict | None]] = [("initial", None)]
+    if case.get("loads"):
+        phases.append(("after_load", case["loads"]))
+
+    for phase, loads in phases:
+        if loads:
+            loader = BulkLoader(partitioned, config)
+            batches = {
+                name: [tuple(row) for row in rows]
+                for name, rows in loads.items()
+            }
+            try:
+                loader.load(batches)
+                check_pref_invariants(partitioned, config, exact=False)
+            except InvariantViolation as exc:
+                return Divergence("invariant", str(exc), phase=phase)
+            except Exception as exc:  # noqa: BLE001
+                return Divergence(
+                    f"error:load:{type(exc).__name__}", str(exc), phase=phase
+                )
+            for name, rows in batches.items():
+                database.load(name, rows)
+                tables[name][1].extend(rows)
+        for index, query in enumerate(case["queries"]):
+            divergence = _check_query(
+                query,
+                index,
+                phase,
+                reference,
+                others,
+                variant_executor,
+                database,
+                tables,
+                schemas,
+                check_sqlite,
+            )
+            if divergence is not None:
+                return divergence
+    return None
+
+
+def _check_query(
+    query: dict,
+    index: int,
+    phase: str,
+    reference: Executor,
+    others: list[tuple[str, Executor]],
+    variant_executor: Executor | None,
+    database,
+    tables: dict,
+    schemas: dict,
+    check_sqlite: bool,
+) -> Divergence | None:
+    try:
+        plan = ir.build_plan(query)
+    except Exception as exc:  # noqa: BLE001
+        return Divergence(
+            f"error:plan:{type(exc).__name__}", str(exc), phase, index
+        )
+    try:
+        expected = reference.execute(plan)
+    except Exception as exc:  # noqa: BLE001
+        return Divergence(
+            f"error:execute:{type(exc).__name__}", str(exc), phase, index
+        )
+    expected_stats = expected.stats.canonical()
+    for spec, executor in others:
+        try:
+            result = executor.execute(ir.build_plan(query))
+        except Exception as exc:  # noqa: BLE001
+            return Divergence(
+                f"error:execute:{type(exc).__name__}",
+                f"backend {spec}: {exc}",
+                phase,
+                index,
+            )
+        if result.rows != expected.rows:
+            return Divergence(
+                "backend_rows",
+                f"backend {spec} rows differ from serial\n"
+                + diff_summary("serial", expected.rows, spec, result.rows),
+                phase,
+                index,
+            )
+        if result.stats.canonical() != expected_stats:
+            return Divergence(
+                "backend_stats",
+                f"backend {spec} stats {result.stats.canonical()!r} != "
+                f"serial {expected_stats!r}",
+                phase,
+                index,
+            )
+    if variant_executor is not None:
+        try:
+            varied = variant_executor.execute(ir.build_plan(query))
+        except Exception as exc:  # noqa: BLE001
+            return Divergence(
+                f"error:execute:{type(exc).__name__}",
+                f"rewrite variant: {exc}",
+                phase,
+                index,
+            )
+        if not rows_equal(varied.rows, expected.rows):
+            return Divergence(
+                "rewrite_rows",
+                "rewriter-ablation variant rows differ\n"
+                + diff_summary("default", expected.rows, "variant", varied.rows),
+                phase,
+                index,
+            )
+    try:
+        local = LocalExecutor(database).execute(ir.build_plan(query))
+    except Exception as exc:  # noqa: BLE001
+        return Divergence(
+            f"error:local:{type(exc).__name__}", str(exc), phase, index
+        )
+    if not rows_equal(local.rows, expected.rows):
+        return Divergence(
+            "local_rows",
+            "LocalExecutor rows differ from distributed result\n"
+            + diff_summary("local", local.rows, "engine", expected.rows),
+            phase,
+            index,
+        )
+    try:
+        _columns, oracle_rows = evaluate_query(tables, query)
+    except OracleError as exc:
+        return Divergence(f"error:oracle:{type(exc).__name__}", str(exc), phase, index)
+    if not rows_equal(oracle_rows, expected.rows):
+        return Divergence(
+            "oracle_rows",
+            "naive oracle rows differ from engine result\n"
+            + diff_summary("oracle", oracle_rows, "engine", expected.rows),
+            phase,
+            index,
+        )
+    if check_sqlite:
+        try:
+            sqlite_rows = run_sqlite(schemas, tables, query)
+        except (SqlTranslationError, sqlite3.Error) as exc:
+            return Divergence(
+                f"error:sqlite:{type(exc).__name__}", str(exc), phase, index
+            )
+        if not rows_equal(sqlite_rows, oracle_rows):
+            return Divergence(
+                "sqlite_rows",
+                "sqlite3 rows differ from naive oracle\n"
+                + diff_summary("sqlite", sqlite_rows, "oracle", oracle_rows),
+                phase,
+                index,
+            )
+    return None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzz run."""
+
+    seed: int
+    cases_requested: int
+    cases_run: int = 0
+    queries_run: int = 0
+    divergence: Divergence | None = None
+    failing_case: dict | None = None
+    shrunk_case: dict | None = None
+    repro_path: str | None = None
+    shrink_attempts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"OK: {self.cases_run} cases ({self.queries_run} query "
+                f"executions) with zero divergences, seed {self.seed}"
+            )
+        lines = [
+            f"FAIL after {self.cases_run} cases (seed {self.seed}):",
+            self.divergence.describe(),
+        ]
+        if self.shrunk_case is not None:
+            lines.append(
+                f"minimised repro ({self.shrink_attempts} shrink runs)"
+                + (f" written to {self.repro_path}" if self.repro_path else "")
+            )
+        elif self.repro_path:
+            lines.append(f"repro written to {self.repro_path}")
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    cases: int,
+    seed: int,
+    backends: tuple[str, ...] = DEFAULT_BACKENDS,
+    check_sqlite: bool = True,
+    shrink_divergent: bool = True,
+    out: str | None = None,
+    max_shrink: int = 250,
+    progress=None,
+) -> FuzzReport:
+    """Generate and run *cases* cases; stop (and shrink) on the first failure."""
+    from repro.fuzz.shrinker import shrink
+
+    report = FuzzReport(seed=seed, cases_requested=cases)
+    for index in range(cases):
+        case = generate_case(seed, index)
+        divergence = run_case(case, backends=backends, check_sqlite=check_sqlite)
+        report.cases_run += 1
+        report.queries_run += len(case["queries"]) * (2 if case["loads"] else 1)
+        if divergence is None:
+            if progress is not None:
+                progress(index + 1, cases)
+            continue
+        report.divergence = divergence
+        report.failing_case = case
+        if shrink_divergent:
+            kind = divergence.kind
+            attempts = [0]
+
+            def still_fails(candidate: dict) -> bool:
+                attempts[0] += 1
+                found = run_case(
+                    candidate, backends=backends, check_sqlite=check_sqlite
+                )
+                return found is not None and found.kind == kind
+
+            report.shrunk_case = shrink(case, still_fails, max_attempts=max_shrink)
+            report.shrink_attempts = attempts[0]
+            # Re-derive the divergence message from the minimised case.
+            final = run_case(
+                report.shrunk_case, backends=backends, check_sqlite=check_sqlite
+            )
+            if final is not None:
+                report.divergence = final
+        if out:
+            ir.save_case(report.shrunk_case or case, out)
+            report.repro_path = out
+        break
+    return report

@@ -1,0 +1,316 @@
+"""Delta-debugging shrinker for divergent fuzz cases.
+
+Given a failing case and a ``still_fails(candidate)`` predicate (the
+runner re-run, pinned to the original divergence kind), the shrinker
+repeatedly tries structure-removing edits and keeps every edit that
+preserves the failure, until a fixpoint or the attempt budget runs out:
+
+1. drop all but one query (the failing one),
+2. drop the bulk-load step, then individual load rows (ddmin),
+3. drop tables no remaining query or PREF scheme needs, and simplify
+   PREF schemes to plain hash,
+4. ddmin the base rows of every table,
+5. simplify the surviving query tree: drop filters / ORDER BY /
+   DISTINCT / aggregate specs / group keys / join residuals, replace a
+   join by its left input, shorten IN lists, replace AND/OR/NOT by an
+   operand.
+
+Candidates are deep-copied dicts, so the repro written at the end is a
+standalone JSON file replayable with ``python -m repro.fuzz --replay``.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+
+def shrink(
+    case: dict,
+    still_fails: Callable[[dict], bool],
+    max_attempts: int = 250,
+) -> dict:
+    """Minimise *case* while ``still_fails`` keeps returning True."""
+    budget = [max_attempts]
+
+    def attempt(candidate: dict) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            return still_fails(candidate)
+        except Exception:  # noqa: BLE001 - malformed candidate: not a repro
+            return False
+
+    current = copy.deepcopy(case)
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        for pass_fn in (
+            _shrink_queries,
+            _shrink_loads,
+            _shrink_tables,
+            _shrink_rows,
+            _shrink_query_trees,
+        ):
+            reduced = pass_fn(current, attempt)
+            if reduced is not None:
+                current = reduced
+                changed = True
+    return current
+
+
+# -- passes ----------------------------------------------------------------
+
+
+def _shrink_queries(case: dict, attempt) -> dict | None:
+    queries = case["queries"]
+    if len(queries) <= 1:
+        return None
+    for query in queries:
+        candidate = copy.deepcopy(case)
+        candidate["queries"] = [copy.deepcopy(query)]
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _shrink_loads(case: dict, attempt) -> dict | None:
+    loads = case.get("loads") or {}
+    if not loads:
+        return None
+    candidate = copy.deepcopy(case)
+    candidate["loads"] = {}
+    if attempt(candidate):
+        return candidate
+    improved = None
+    for name in list(loads):
+        candidate = copy.deepcopy(case if improved is None else improved)
+        if name not in candidate["loads"]:
+            continue
+        del candidate["loads"][name]
+        if attempt(candidate):
+            improved = candidate
+    if improved is not None:
+        return improved
+    for name, rows in loads.items():
+        reduced = _ddmin(
+            rows,
+            lambda subset, _name=name: attempt(
+                _with_load(case, _name, subset)
+            ),
+        )
+        if len(reduced) < len(rows):
+            return _with_load(case, name, reduced)
+    return None
+
+
+def _with_load(case: dict, name: str, rows: list) -> dict:
+    candidate = copy.deepcopy(case)
+    candidate["loads"][name] = copy.deepcopy(rows)
+    return candidate
+
+
+def _shrink_tables(case: dict, attempt) -> dict | None:
+    needed = set()
+    for query in case["queries"]:
+        _scan_tables(query, needed)
+    # Tables referenced by a PREF scheme of a table we keep must stay.
+    improved = None
+    for table in case["tables"]:
+        name = table["name"]
+        if name in needed:
+            continue
+        base = case if improved is None else improved
+        if any(
+            desc.get("kind") == "pref" and desc.get("referenced") == name
+            for t, desc in base["config"].items()
+            if t != name and any(bt["name"] == t for bt in base["tables"])
+        ):
+            continue
+        candidate = copy.deepcopy(base)
+        candidate["tables"] = [
+            t for t in candidate["tables"] if t["name"] != name
+        ]
+        candidate["config"].pop(name, None)
+        candidate.get("loads", {}).pop(name, None)
+        if attempt(candidate):
+            improved = candidate
+    if improved is not None:
+        return improved
+    # Simplify PREF schemes to hash on the referencing column.
+    for name, desc in case["config"].items():
+        if desc.get("kind") != "pref":
+            continue
+        candidate = copy.deepcopy(case)
+        candidate["config"][name] = {
+            "kind": "hash",
+            "columns": [desc["on"][0][0]],
+        }
+        if attempt(candidate):
+            return candidate
+    return None
+
+
+def _scan_tables(node: dict, out: set) -> None:
+    if node.get("op") == "scan":
+        out.add(node["table"])
+    for key in ("input", "left", "right"):
+        child = node.get(key)
+        if isinstance(child, dict):
+            _scan_tables(child, out)
+
+
+def _shrink_rows(case: dict, attempt) -> dict | None:
+    for position, table in enumerate(case["tables"]):
+        rows = table["rows"]
+        if len(rows) <= 1:
+            continue
+
+        def check(subset, _position=position):
+            candidate = copy.deepcopy(case)
+            candidate["tables"][_position]["rows"] = copy.deepcopy(subset)
+            return attempt(candidate)
+
+        reduced = _ddmin(rows, check)
+        if len(reduced) < len(rows):
+            candidate = copy.deepcopy(case)
+            candidate["tables"][position]["rows"] = copy.deepcopy(reduced)
+            return candidate
+    return None
+
+
+def _shrink_query_trees(case: dict, attempt) -> dict | None:
+    for position, query in enumerate(case["queries"]):
+        for variant in _query_variants(query):
+            candidate = copy.deepcopy(case)
+            candidate["queries"][position] = copy.deepcopy(variant)
+            if attempt(candidate):
+                return candidate
+    return None
+
+
+# -- structural variants ---------------------------------------------------
+
+
+def _query_variants(node: dict) -> Iterator[dict]:
+    """One-edit simplifications of a query IR tree, shallowest first."""
+    op = node["op"]
+    if op == "filter":
+        yield node["input"]
+        for pred in _expr_variants(node["pred"]):
+            yield {**node, "pred": pred}
+        for child in _query_variants(node["input"]):
+            yield {**node, "input": child}
+    elif op == "order_by":
+        yield node["input"]
+        for child in _query_variants(node["input"]):
+            yield {**node, "input": child}
+    elif op == "project":
+        yield node["input"]
+        if node.get("distinct"):
+            yield {**node, "distinct": False}
+        if len(node["outputs"]) > 1:
+            for i in range(len(node["outputs"])):
+                outputs = node["outputs"][:i] + node["outputs"][i + 1 :]
+                yield {**node, "outputs": outputs}
+        for child in _query_variants(node["input"]):
+            yield {**node, "input": child}
+    elif op == "join":
+        yield node["left"]
+        if node["kind"] in ("inner", "cross"):
+            yield node["right"]
+        if node.get("residual") is not None:
+            yield {**node, "residual": None}
+            for residual in _expr_variants(node["residual"]):
+                yield {**node, "residual": residual}
+        if len(node.get("on", ())) > 1:
+            for i in range(len(node["on"])):
+                yield {**node, "on": node["on"][:i] + node["on"][i + 1 :]}
+        for child in _query_variants(node["left"]):
+            yield {**node, "left": child}
+        for child in _query_variants(node["right"]):
+            yield {**node, "right": child}
+    elif op == "aggregate":
+        yield node["input"]
+        if len(node["aggs"]) > 1 or (node["aggs"] and node["group_by"]):
+            for i in range(len(node["aggs"])):
+                aggs = node["aggs"][:i] + node["aggs"][i + 1 :]
+                if aggs or node["group_by"]:
+                    yield {**node, "aggs": aggs}
+        for i in range(len(node.get("group_by", ()))):
+            group = list(node["group_by"])
+            del group[i]
+            yield {**node, "group_by": group}
+        for child in _query_variants(node["input"]):
+            yield {**node, "input": child}
+
+
+def _expr_variants(node: dict) -> Iterator[dict]:
+    """One-edit simplifications of an expression IR tree."""
+    kind = node["t"]
+    if kind in ("and", "or"):
+        args = node["args"]
+        for arg in args:
+            yield arg
+        if len(args) > 2:
+            for i in range(len(args)):
+                yield {**node, "args": args[:i] + args[i + 1 :]}
+        for i, arg in enumerate(args):
+            for variant in _expr_variants(arg):
+                yield {**node, "args": args[:i] + [variant] + args[i + 1 :]}
+    elif kind == "not":
+        yield node["arg"]
+        for variant in _expr_variants(node["arg"]):
+            yield {**node, "arg": variant}
+    elif kind == "inlist":
+        if len(node["vals"]) > 1:
+            for i in range(len(node["vals"])):
+                vals = node["vals"][:i] + node["vals"][i + 1 :]
+                yield {**node, "vals": vals}
+        if node.get("neg"):
+            yield {**node, "neg": False}
+    elif kind == "cmp":
+        for side in ("l", "r"):
+            for variant in _expr_variants(node[side]):
+                yield {**node, side: variant}
+    elif kind == "arith":
+        yield node["l"]
+        yield node["r"]
+        for side in ("l", "r"):
+            for variant in _expr_variants(node[side]):
+                yield {**node, side: variant}
+    elif kind == "isnull":
+        if node.get("neg"):
+            yield {**node, "neg": False}
+
+
+# -- ddmin -----------------------------------------------------------------
+
+
+def _ddmin(items: list, check: Callable[[list], bool]) -> list:
+    """Classic delta debugging: a 1-minimal sublist still passing *check*.
+
+    ``check`` receives candidate sublists; the original list is assumed
+    to pass.  Bounded by the caller's attempt budget (``check`` returns
+    False once the budget is exhausted, which simply stops progress).
+    """
+    current = list(items)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and check(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current

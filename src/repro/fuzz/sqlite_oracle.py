@@ -1,0 +1,224 @@
+"""Second, external reference: translate the case IR to SQL for sqlite3.
+
+The stdlib ``sqlite3`` engine has had its NULL semantics battle-tested
+for decades, which makes it the ideal cross-check for the hand-written
+oracle — if both agree with each other and with the engine, the odds of
+a shared misunderstanding of three-valued logic are small.
+
+Translation notes (where sqlite differs from naive Python evaluation):
+
+* ``/`` is integer division in sqlite for two integers, so every IR
+  division is emitted as ``CAST(l AS REAL) / r`` to match Python's
+  ``truediv``; division by zero then yields NULL on both sides.
+* Booleans are stored as 1/0; the differ compares ``True == 1``.
+* Semi/anti joins become correlated ``EXISTS`` / ``NOT EXISTS``.
+* Column names are globally unique per query (alias-qualified), so the
+  generated SQL never needs range variables — every reference is a
+  double-quoted name like ``"a0.fk_t1"``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+Row = tuple
+
+_TYPE_AFFINITY = {
+    "integer": "INTEGER",
+    "float": "REAL",
+    "varchar": "TEXT",
+    "boolean": "INTEGER",
+}
+
+_AGG_SQL = {
+    "sum": "SUM",
+    "avg": "AVG",
+    "min": "MIN",
+    "max": "MAX",
+}
+
+
+class SqlTranslationError(Exception):
+    """The query IR has no faithful SQL rendering."""
+
+
+def run_sqlite(
+    schemas: dict[str, list[tuple[str, str]]],
+    tables: dict[str, tuple[list[str], list[Row]]],
+    query: dict,
+) -> list[Row]:
+    """Evaluate *query* in an in-memory sqlite database.
+
+    Args:
+        schemas: ``{table: [(column, dtype), ...]}``.
+        tables: Current content, ``{table: (columns, rows)}``.
+        query: Query IR.
+
+    Returns:
+        Result rows (order unspecified).
+    """
+    sql = query_sql(query, schemas)
+    connection = sqlite3.connect(":memory:")
+    try:
+        for name, columns in schemas.items():
+            decls = ", ".join(
+                f'{_quote(col)} {_TYPE_AFFINITY[dtype]}'
+                for col, dtype in columns
+            )
+            connection.execute(f"CREATE TABLE {_quote(name)} ({decls})")
+            _cols, rows = tables[name]
+            if rows:
+                marks = ", ".join("?" * len(columns))
+                connection.executemany(
+                    f"INSERT INTO {_quote(name)} VALUES ({marks})",
+                    [tuple(row) for row in rows],
+                )
+        return [tuple(row) for row in connection.execute(sql)]
+    finally:
+        connection.close()
+
+
+# -- query translation -----------------------------------------------------
+
+
+def query_sql(node: dict, schemas: dict[str, list[tuple[str, str]]]) -> str:
+    """Render query IR *node* as a single sqlite SELECT statement."""
+    op = node["op"]
+    if op == "scan":
+        alias = node.get("alias") or node["table"]
+        try:
+            columns = schemas[node["table"]]
+        except KeyError:
+            raise SqlTranslationError(
+                f"unknown table {node['table']!r}"
+            ) from None
+        qualified = ", ".join(
+            f"{_quote(col)} AS {_quote(f'{alias}.{col}')}"
+            for col, _dtype in columns
+        )
+        return f"SELECT {qualified} FROM {_quote(node['table'])}"
+    if op == "filter":
+        return (
+            f"SELECT * FROM ({query_sql(node['input'], schemas)}) "
+            f"WHERE {_expr_sql(node['pred'])}"
+        )
+    if op == "project":
+        distinct = "DISTINCT " if node.get("distinct") else ""
+        outputs = ", ".join(
+            f"{_expr_sql(expr)} AS {_quote(name)}"
+            for name, expr in node["outputs"]
+        )
+        return (
+            f"SELECT {distinct}{outputs} "
+            f"FROM ({query_sql(node['input'], schemas)})"
+        )
+    if op == "join":
+        return _join_sql(node, schemas)
+    if op == "aggregate":
+        return _aggregate_sql(node, schemas)
+    if op == "order_by":
+        # No LIMIT is ever generated; ordering is invisible to the
+        # multiset comparison, so the node is a pass-through.
+        return f"SELECT * FROM ({query_sql(node['input'], schemas)})"
+    raise SqlTranslationError(f"unknown query IR op {op!r}")
+
+
+def _join_sql(node: dict, schemas: dict) -> str:
+    left = query_sql(node["left"], schemas)
+    right = query_sql(node["right"], schemas)
+    conds = [
+        f"{_quote(l)} = {_quote(r)}" for l, r in node.get("on", ())
+    ]
+    if node.get("residual") is not None:
+        conds.append(_expr_sql(node["residual"]))
+    cond = " AND ".join(conds) if conds else "1"
+    kind = node["kind"]
+    if kind in ("inner", "cross"):
+        return f"SELECT * FROM ({left}) JOIN ({right}) ON {cond}"
+    if kind == "left_outer":
+        return f"SELECT * FROM ({left}) LEFT JOIN ({right}) ON {cond}"
+    if kind in ("semi", "anti"):
+        exists = "EXISTS" if kind == "semi" else "NOT EXISTS"
+        return (
+            f"SELECT * FROM ({left}) WHERE {exists} "
+            f"(SELECT 1 FROM ({right}) WHERE {cond})"
+        )
+    raise SqlTranslationError(f"unknown join kind {kind!r}")
+
+
+def _aggregate_sql(node: dict, schemas: dict) -> str:
+    group_by = list(node.get("group_by", ()))
+    selects = [_quote(name) for name in group_by]
+    for func, expr, name in node["aggs"]:
+        if func == "count" and expr is None:
+            selects.append(f"COUNT(*) AS {_quote(name)}")
+        elif func == "count":
+            selects.append(f"COUNT({_expr_sql(expr)}) AS {_quote(name)}")
+        elif func == "count_distinct":
+            selects.append(
+                f"COUNT(DISTINCT {_expr_sql(expr)}) AS {_quote(name)}"
+            )
+        elif func in _AGG_SQL:
+            selects.append(
+                f"{_AGG_SQL[func]}({_expr_sql(expr)}) AS {_quote(name)}"
+            )
+        else:
+            raise SqlTranslationError(f"unknown aggregate {func!r}")
+    sql = (
+        f"SELECT {', '.join(selects)} "
+        f"FROM ({query_sql(node['input'], schemas)})"
+    )
+    if group_by:
+        sql += " GROUP BY " + ", ".join(_quote(name) for name in group_by)
+    return sql
+
+
+# -- expression translation ------------------------------------------------
+
+
+def _expr_sql(node: dict) -> str:
+    kind = node["t"]
+    if kind == "col":
+        return _quote(node["name"])
+    if kind == "lit":
+        return _literal_sql(node["v"])
+    if kind == "cmp":
+        return f"({_expr_sql(node['l'])} {node['op']} {_expr_sql(node['r'])})"
+    if kind == "arith":
+        lhs, rhs, op = _expr_sql(node["l"]), _expr_sql(node["r"]), node["op"]
+        if op == "/":
+            # Match Python truediv; sqlite divides integers integrally.
+            return f"(CAST({lhs} AS REAL) / {rhs})"
+        return f"({lhs} {op} {rhs})"
+    if kind in ("and", "or"):
+        joiner = f" {kind.upper()} "
+        return "(" + joiner.join(_expr_sql(a) for a in node["args"]) + ")"
+    if kind == "not":
+        return f"(NOT {_expr_sql(node['arg'])})"
+    if kind == "isnull":
+        test = "IS NOT NULL" if node.get("neg") else "IS NULL"
+        return f"({_expr_sql(node['arg'])} {test})"
+    if kind == "inlist":
+        vals = node["vals"]
+        if not vals:
+            return "(1)" if node.get("neg") else "(0)"
+        rendered = ", ".join(_literal_sql(v) for v in vals)
+        test = "NOT IN" if node.get("neg") else "IN"
+        return f"({_expr_sql(node['arg'])} {test} ({rendered}))"
+    raise SqlTranslationError(f"unknown expression IR node {kind!r}")
+
+
+def _literal_sql(value: object) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlTranslationError(f"untranslatable literal {value!r}")
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'

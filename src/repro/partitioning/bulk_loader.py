@@ -28,6 +28,7 @@ from repro.partitioning.scheme import (
     RangeScheme,
     ReplicatedScheme,
     RoundRobinScheme,
+    key_has_null,
 )
 from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
 
@@ -192,8 +193,12 @@ class BulkLoader:
             referenced = self.partitioned.table(scheme.referenced_table)
             index = referenced.partition_index(scheme.referenced_columns)
             key = _key_of(target, scheme.referencing_columns(target.name), row)
-            stats.index_lookups += 1
-            partitions = index.partitions_of(key)
+            if key_has_null(key):
+                # A NULL key never matches a partner; no index probe needed.
+                partitions = frozenset()
+            else:
+                stats.index_lookups += 1
+                partitions = index.partitions_of(key)
             if partitions:
                 placed = tuple(sorted(partitions))
                 for rank, partition_id in enumerate(placed):
@@ -262,6 +267,9 @@ class BulkLoader:
             new_keys: dict[Hashable, set[int]] = {}
             for row, placed in placements:
                 key = _key_of(referenced, scheme.referenced_columns, row)
+                if key_has_null(key):
+                    # A NULL referenced key can never partner anything.
+                    continue
                 new_keys.setdefault(key, set()).update(placed)
             ref_columns = scheme.referencing_columns(referencing_name)
             locator = _locate_rows(referencing, ref_columns, set(new_keys))

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.partitioning.config import PartitioningConfig
-from repro.partitioning.scheme import PrefScheme
+from repro.partitioning.scheme import PrefScheme, key_has_null
 from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
 
 
@@ -62,9 +62,16 @@ def _check_pref_table(
     exact: bool,
 ) -> None:
     name = referencing.name
+    # Keys containing NULL never satisfy the partitioning predicate, on
+    # either side: a NULL referenced key partners nothing, and a NULL
+    # referencing key has no partner (matching SQL equality semantics).
     partner_keys_by_partition = [
-        _key_set(referenced, scheme.referenced_columns, partition_id)
-        for partition_id in range(referenced.partition_count)
+        {
+            key
+            for key in _key_set(referenced, scheme.referenced_columns, pid)
+            if not key_has_null(key)
+        }
+        for pid in range(referenced.partition_count)
     ]
     all_partner_keys = set().union(*partner_keys_by_partition) if (
         partner_keys_by_partition
@@ -86,11 +93,17 @@ def _check_pref_table(
             )
 
     for source_id, key in keys.items():
-        expected = {
-            partition_id
-            for partition_id, partner_keys in enumerate(partner_keys_by_partition)
-            if key in partner_keys
-        }
+        expected = (
+            set()
+            if key_has_null(key)
+            else {
+                partition_id
+                for partition_id, partner_keys in enumerate(
+                    partner_keys_by_partition
+                )
+                if key in partner_keys
+            }
+        )
         actual = copies[source_id]
         if expected:
             missing = expected - actual
@@ -110,7 +123,7 @@ def _check_pref_table(
                     f"{name}: partner-less tuple {source_id} stored in "
                     f"{len(actual)} partitions, expected exactly 1"
                 )
-        expected_partner = key in all_partner_keys
+        expected_partner = not key_has_null(key) and key in all_partner_keys
         observed = has_bits[source_id]
         if observed != {expected_partner}:
             raise InvariantViolation(

@@ -18,6 +18,7 @@ from repro.partitioning.scheme import (
     RangeScheme,
     ReplicatedScheme,
     RoundRobinScheme,
+    key_has_null,
     stable_hash,
 )
 from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
@@ -181,7 +182,10 @@ def _place_pref(
     round_robin_cursor = 0
     for row in base_table.rows:
         source_id = target.allocate_source_id()
-        partitions = index.partitions_of(extract(row))
+        key = extract(row)
+        partitions = (
+            frozenset() if key_has_null(key) else index.partitions_of(key)
+        )
         if partitions:
             # Condition (1): a copy into every partition with a partner.
             # The lowest partition id holds the canonical copy (dup = 0).

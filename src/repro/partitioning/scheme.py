@@ -198,6 +198,19 @@ def stable_hash(key: object) -> int:
     return stable_hash(repr(key))
 
 
+def key_has_null(key: object) -> bool:
+    """True if a partitioning key (scalar or composite) contains SQL NULL.
+
+    NULL never satisfies an equality predicate, so a referencing tuple
+    whose PREF key contains NULL is partner-less by definition — the
+    partition index must not be consulted for it (Python's ``None == None``
+    would otherwise pair NULL keys up).
+    """
+    if isinstance(key, tuple):
+        return any(part is None for part in key)
+    return key is None
+
+
 def _check_count(partition_count: int) -> None:
     if partition_count < 1:
         raise PartitioningError(

@@ -4,6 +4,26 @@ Expressions are bound against a relation's column list once, yielding a
 plain ``row -> value`` callable, so per-row evaluation involves no name
 lookups.  Column references may be fully qualified (``orders.custkey``) or
 abbreviated (``custkey``); abbreviations must resolve uniquely.
+
+NULL semantics (the contract the differential fuzzer enforces):
+
+* ``None`` is SQL NULL.  Bound predicates return ``True``, ``False`` or
+  ``None`` — three-valued logic with ``None`` standing for *unknown*.
+* :class:`Comparison` yields unknown when either operand is NULL, so
+  ``NULL = NULL`` is not true and ``col < NULL`` is not an error.
+* :class:`Arithmetic` propagates NULL, and division by zero yields NULL
+  (matching SQLite, our differential oracle).
+* :class:`BooleanOp` and :class:`Negation` follow Kleene logic:
+  ``unknown AND false`` is false, ``unknown OR true`` is true, everything
+  else involving unknown stays unknown; ``NOT unknown`` is unknown.
+* :class:`InList` treats the list as a chain of ``OR``-ed equalities:
+  ``x IN (...)`` is unknown when ``x`` is NULL (and the list is non-empty),
+  and ``x NOT IN (list containing NULL)`` is never true — at best unknown.
+* :class:`IsNull` is the only predicate that is always two-valued.
+
+Filters and join residuals accept a row only when the predicate is *truly*
+true; ``None`` is falsy in Python, so call sites that test truthiness
+reject unknown rows for free.
 """
 
 from __future__ import annotations
@@ -142,7 +162,17 @@ class Comparison(Expression):
         compare = _COMPARATORS[self.op]
         left = self.left.bind(columns)
         right = self.right.bind(columns)
-        return lambda row: compare(left(row), right(row))
+
+        def evaluate(row: Row) -> object:
+            lhs = left(row)
+            if lhs is None:
+                return None
+            rhs = right(row)
+            if rhs is None:
+                return None
+            return compare(lhs, rhs)
+
+        return evaluate
 
     def referenced_columns(self) -> tuple[str, ...]:
         return self.left.referenced_columns() + self.right.referenced_columns()
@@ -167,7 +197,20 @@ class Arithmetic(Expression):
         apply = _ARITHMETIC[self.op]
         left = self.left.bind(columns)
         right = self.right.bind(columns)
-        return lambda row: apply(left(row), right(row))
+
+        def evaluate(row: Row) -> object:
+            lhs = left(row)
+            if lhs is None:
+                return None
+            rhs = right(row)
+            if rhs is None:
+                return None
+            try:
+                return apply(lhs, rhs)
+            except ZeroDivisionError:
+                return None
+
+        return evaluate
 
     def referenced_columns(self) -> tuple[str, ...]:
         return self.left.referenced_columns() + self.right.referenced_columns()
@@ -186,9 +229,31 @@ class BooleanOp(Expression):
     def bind(self, columns: Sequence[str]) -> RowFn:
         bound = [operand.bind(columns) for operand in self.operands]
         if self.op == "and":
-            return lambda row: all(fn(row) for fn in bound)
+
+            def conjunction(row: Row) -> object:
+                unknown = False
+                for fn in bound:
+                    value = fn(row)
+                    if value is None:
+                        unknown = True
+                    elif not value:
+                        return False
+                return None if unknown else True
+
+            return conjunction
         if self.op == "or":
-            return lambda row: any(fn(row) for fn in bound)
+
+            def disjunction(row: Row) -> object:
+                unknown = False
+                for fn in bound:
+                    value = fn(row)
+                    if value is None:
+                        unknown = True
+                    elif value:
+                        return True
+                return None if unknown else False
+
+            return disjunction
         raise PlanningError(f"unknown boolean operator {self.op!r}")
 
     def referenced_columns(self) -> tuple[str, ...]:
@@ -210,7 +275,14 @@ class Negation(Expression):
 
     def bind(self, columns: Sequence[str]) -> RowFn:
         bound = self.operand.bind(columns)
-        return lambda row: not bound(row)
+
+        def evaluate(row: Row) -> object:
+            value = bound(row)
+            if value is None:
+                return None
+            return not value
+
+        return evaluate
 
     def referenced_columns(self) -> tuple[str, ...]:
         return self.operand.referenced_columns()
@@ -246,10 +318,29 @@ class InList(Expression):
 
     def bind(self, columns: Sequence[str]) -> RowFn:
         bound = self.operand.bind(columns)
-        values = frozenset(self.values)
+        values = frozenset(v for v in self.values if v is not None)
+        has_null = any(v is None for v in self.values)
+
+        def membership(row: Row) -> object:
+            value = bound(row)
+            if value is None:
+                # x IN () is vacuously false even for NULL x; otherwise a
+                # NULL operand makes every equality unknown.
+                return None if (values or has_null) else False
+            if value in values:
+                return True
+            return None if has_null else False
+
         if self.negated:
-            return lambda row: bound(row) not in values
-        return lambda row: bound(row) in values
+
+            def negated_membership(row: Row) -> object:
+                result = membership(row)
+                if result is None:
+                    return None
+                return not result
+
+            return negated_membership
+        return membership
 
     def referenced_columns(self) -> tuple[str, ...]:
         return self.operand.referenced_columns()

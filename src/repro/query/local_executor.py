@@ -124,15 +124,20 @@ class LocalExecutor:
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
             expect = node.kind is JoinKind.SEMI
             if residual is None:
-                keys = {rkey(row) for row in right_rows}
+                keys = {
+                    key for row in right_rows if _null_free(key := rkey(row))
+                }
                 return left_columns, [
-                    row for row in left_rows if (lkey(row) in keys) == expect
+                    row
+                    for row in left_rows
+                    if (_null_free(key := lkey(row)) and key in keys) == expect
                 ]
             # Key-equal right rows only count as partners if the residual
             # also holds on the combined row.
             partners: dict[tuple, list[Row]] = {}
             for row in right_rows:
-                partners.setdefault(rkey(row), []).append(row)
+                if _null_free(key := rkey(row)):
+                    partners.setdefault(key, []).append(row)
             return left_columns, [
                 row
                 for row in left_rows
@@ -144,7 +149,8 @@ class LocalExecutor:
             ]
         table: dict[tuple, list[Row]] = {}
         for row in right_rows:
-            table.setdefault(rkey(row), []).append(row)
+            if _null_free(key := rkey(row)):
+                table.setdefault(key, []).append(row)
         out = []
         for row in left_rows:
             emitted = False
@@ -183,6 +189,11 @@ class LocalExecutor:
             for key, accs in groups.items()
         ]
         return out_columns, out_rows
+
+
+def _null_free(key: tuple) -> bool:
+    """SQL equality: a join key containing NULL never matches anything."""
+    return all(value is not None for value in key)
 
 
 def _position(columns: tuple[str, ...], name: str) -> int:

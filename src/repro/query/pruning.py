@@ -82,9 +82,20 @@ def equality_bindings(condition: Expression) -> dict[str, object]:
             return
         if isinstance(expression, Comparison) and expression.op == "=":
             left, right = expression.left, expression.right
-            if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            # ``col = NULL`` is never true under three-valued logic, so a
+            # NULL literal pins nothing (and must not shadow a real
+            # binding on the same column).
+            if (
+                isinstance(left, ColumnRef)
+                and isinstance(right, Literal)
+                and right.value is not None
+            ):
                 bindings[left.name] = right.value
-            elif isinstance(right, ColumnRef) and isinstance(left, Literal):
+            elif (
+                isinstance(right, ColumnRef)
+                and isinstance(left, Literal)
+                and left.value is not None
+            ):
                 bindings[right.name] = left.value
 
     walk(condition)

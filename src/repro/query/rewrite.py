@@ -340,7 +340,12 @@ class Rewriter:
     def _distinct_keys(
         self, side: Annotated, keys: tuple[str, ...]
     ) -> Annotated:
-        """Project *side* to its join keys, locally deduplicated."""
+        """Project *side* to its join keys, locally deduplicated.
+
+        NULL-bearing keys may survive the projection; that is sound
+        because the keyed semi/anti probe never matches a key containing
+        NULL (SQL equality), so shipping them merely costs bytes.
+        """
         positions = side.props.positions(keys)
         names = tuple(side.props.columns[p] for p in positions)
         outputs = tuple(
@@ -612,8 +617,26 @@ class Rewriter:
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI) and case == "shuffled":
             part = replace(part, hash_columns=lp.hash_columns)
 
+        if node.kind is JoinKind.LEFT_OUTER and part.hash_columns:
+            # Padded rows carry NULLs in every right-side column yet sit in
+            # whatever partition their left row occupies, so a placement
+            # claim keyed on right-side columns does not hold for them
+            # (a "local" GROUP BY on such a key would emit one NULL group
+            # per partition).  Claims keyed on left columns stay sound.
+            right_columns = set(right.props.columns)
+            if any(column in right_columns for column in part.hash_columns):
+                part = replace(part, hash_columns=())
+
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
             equivalences = left.props.equivalences
+        elif node.kind is JoinKind.LEFT_OUTER:
+            # The join keys are only equal on *matched* rows: a padded row
+            # keeps its left key but NULLs the right one, so the pair must
+            # not enter the equivalence groups (a GROUP BY on the right key
+            # would otherwise be treated as partition-local and emit one
+            # NULL group per partition).  Within-side groups still hold —
+            # padding sets every right column to NULL uniformly.
+            equivalences = left.props.equivalences + right.props.equivalences
         else:
             pairs = [
                 (
@@ -721,7 +744,13 @@ class Rewriter:
     def _try_partner_filter(
         self, node: Join, left: Annotated, right: Annotated
     ) -> Annotated | None:
-        """Paper's hasS rewrite: semi/anti join -> local bitmap filter."""
+        """Paper's hasS rewrite: semi/anti join -> local bitmap filter.
+
+        NULL soundness: the partitioner and bulk loader set hasS = 0 for
+        referencing tuples whose PREF key contains NULL (a NULL key never
+        satisfies the equality predicate), which is exactly the SQL join
+        semantics the rewritten semi/anti join would have produced.
+        """
         if not self.optimizations:
             return None
         # The hasS bitmap is precomputed from the PREF key equality alone;
