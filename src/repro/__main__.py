@@ -8,11 +8,14 @@ locality/redundancy numbers.
 Options::
 
     python -m repro [--scale SF] [--nodes N] [--seed S]
+    python -m repro explain --query Q3 --analyze \
+        --backends serial,thread,process --check --json-out trace.json
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 
 from repro.bench import paper_cost_parameters
 from repro.cluster import SimulatedCluster
@@ -20,7 +23,113 @@ from repro.design import QuerySpec, SchemaDrivenDesigner, WorkloadDrivenDesigner
 from repro.workloads.tpch import ALL_QUERIES, SMALL_TABLES, generate_tpch
 
 
+def explain_main(argv: list[str]) -> int:
+    """``python -m repro explain`` — EXPLAIN [ANALYZE] a TPC-H query.
+
+    Designs a schema-driven PREF configuration for generated TPC-H data,
+    then renders the annotated plan; with ``--analyze`` the query runs
+    traced on each requested backend and the measured locality/skew show
+    up next to the rewriter's annotations.  ``--check`` asserts the
+    canonical (timing-free) traces are identical across the backends;
+    ``--json-out`` writes the last backend's trace as schema-validated
+    JSON.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explain",
+        description="EXPLAIN [ANALYZE] one TPC-H query on the simulated cluster",
+    )
+    parser.add_argument(
+        "--query", default="Q3", choices=sorted(ALL_QUERIES),
+        help="TPC-H query name",
+    )
+    parser.add_argument(
+        "--analyze", action="store_true",
+        help="execute the query and show measured locality/skew per operator",
+    )
+    parser.add_argument(
+        "--backends", default="thread",
+        help="comma-separated engine backends (serial, thread, process)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="assert canonical traces are identical across the backends",
+    )
+    parser.add_argument(
+        "--json-out", default=None,
+        help="write the (validated) JSON trace export to this path",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.002, help="TPC-H scale factor"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4, help="simulated cluster size"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="generator seed")
+    args = parser.parse_args(argv)
+
+    database = generate_tpch(scale_factor=args.scale, seed=args.seed)
+    design = SchemaDrivenDesigner(database, args.nodes).design(
+        replicate=SMALL_TABLES
+    )
+    build = ALL_QUERIES[args.query]
+
+    if not args.analyze:
+        cluster = SimulatedCluster.partition(database, design.config)
+        try:
+            print(cluster.explain(build()))
+        finally:
+            cluster.close()
+        return 0
+
+    from repro.obs.explain import dump_trace, trace_to_json, validate_trace
+    from repro.partitioning import partition_database
+
+    partitioned = partition_database(database, design.config)
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    traces = {}
+    for backend_name in backends:
+        cluster = SimulatedCluster(
+            database, partitioned, design.config, backend=backend_name
+        )
+        try:
+            result = cluster.run(build(), analyze=True, query_name=args.query)
+        finally:
+            cluster.close()
+        traces[backend_name] = result.trace
+        print(result.explain_analyze())
+        print()
+
+    if args.check:
+        canonicals = {
+            name: trace.canonical() for name, trace in traces.items()
+        }
+        reference_name, *rest = list(canonicals)
+        for name in rest:
+            if canonicals[name] != canonicals[reference_name]:
+                print(
+                    f"TRACE MISMATCH: {name} diverges from {reference_name}",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"trace check OK: {', '.join(canonicals)} identical")
+
+    if args.json_out:
+        last_trace = traces[backends[-1]]
+        violations = validate_trace(trace_to_json(last_trace))
+        if violations:
+            for violation in violations:
+                print(f"schema violation: {violation}", file=sys.stderr)
+            return 1
+        dump_trace(last_trace, args.json_out)
+        print(f"wrote {args.json_out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="PREF partitioning demo on generated TPC-H data",

@@ -307,6 +307,8 @@ class QueryRun:
     #: Per-operator × per-node breakdown (engine OperatorStats), in plan
     #: post-order.
     operators: list = field(default_factory=list)
+    #: The run's :class:`~repro.obs.span.QueryTrace` (``analyze=True``).
+    trace: object = None
 
 
 def materialize_variant(
@@ -346,13 +348,16 @@ def run_workload(
     cost: CostParameters | None = None,
     optimizations: bool = True,
     backend=None,
+    analyze: bool = True,
 ) -> dict[str, QueryRun]:
     """Execute *queries* under *variant*, returning simulated runtimes.
 
     *backend* selects the engine scheduling backend shared by every
     executor of the variant — a :class:`~repro.engine.backends.Backend`
     instance or a name from :data:`~repro.engine.backends.BACKENDS`
-    (default: serial execution).
+    (default: serial execution).  With *analyze* (the default) every run
+    carries its query trace, so fig* results come with per-operator
+    measured locality and skew attached.
     """
     from repro.engine.backends import make_backend
 
@@ -366,7 +371,7 @@ def run_workload(
     runs: dict[str, QueryRun] = {}
     for name, plan in queries.items():
         executor = executors[variant.config_for(name)]
-        result = executor.execute(plan)
+        result = executor.execute(plan, analyze=analyze, query_name=name)
         runs[name] = QueryRun(
             query=name,
             seconds=result.simulated_seconds(cost),
@@ -375,6 +380,7 @@ def run_workload(
             max_node_work=result.stats.max_node_work,
             stats=result.stats,
             operators=result.operators,
+            trace=result.trace,
         )
     return runs
 
@@ -388,6 +394,8 @@ class BackendRun:
     rows: list
     canonical: tuple  #: ``ExecutionStats.canonical()`` of the run
     wall_seconds: float
+    #: The run's :class:`~repro.obs.span.QueryTrace` (``analyze=True``).
+    trace: object = None
 
 
 def compare_backends(
@@ -402,6 +410,7 @@ def compare_backends(
     cost: CostParameters | None = None,
     optimizations: bool = True,
     check: bool = True,
+    analyze: bool = False,
 ) -> dict[str, dict[str, BackendRun]]:
     """Run *queries* once per backend and compare outputs and stats.
 
@@ -433,7 +442,7 @@ def compare_backends(
         for name, plan in queries.items():
             executor = executors[variant.config_for(name)]
             started = time.perf_counter()
-            result = executor.execute(plan)
+            result = executor.execute(plan, analyze=analyze, query_name=name)
             elapsed = time.perf_counter() - started
             runs[name] = BackendRun(
                 backend=label,
@@ -441,6 +450,7 @@ def compare_backends(
                 rows=result.rows,
                 canonical=result.stats.canonical(),
                 wall_seconds=elapsed,
+                trace=result.trace,
             )
         results[label] = runs
         if backend is not None:
@@ -460,6 +470,12 @@ def compare_backends(
                         f"backend {label!r} ExecutionStats diverge from "
                         f"{labels[0]!r} on query {name!r}"
                     )
+                if run.trace is not None and reference[name].trace is not None:
+                    if run.trace.canonical() != reference[name].trace.canonical():
+                        raise AssertionError(
+                            f"backend {label!r} query trace diverges from "
+                            f"{labels[0]!r} on query {name!r}"
+                        )
     return results
 
 

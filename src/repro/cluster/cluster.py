@@ -34,6 +34,20 @@ from repro.storage.partitioned import PartitionedDatabase
 from repro.storage.table import Database
 
 
+def _text_result(lines: list[str]) -> QueryResult:
+    """A :class:`QueryResult` carrying rendered plan text as rows.
+
+    Shaped like an RDBMS ``EXPLAIN`` resultset: one ``(plan,)`` row per
+    line.  ``stats`` is empty and ``plan`` is None — there is no executed
+    query behind the rows themselves.
+    """
+    from repro.query.cost import ExecutionStats
+
+    return QueryResult(
+        ("plan",), [(line,) for line in lines], ExecutionStats(0), None
+    )
+
+
 class SimulatedCluster:
     """A cluster of ``n`` simulated nodes holding one partitioned database.
 
@@ -107,13 +121,38 @@ class SimulatedCluster:
 
     # -- querying ------------------------------------------------------------
 
-    def run(self, plan: PlanNode) -> QueryResult:
-        """Execute a logical plan on the cluster."""
-        return self.executor.execute(plan)
+    def run(
+        self,
+        plan: PlanNode,
+        analyze: bool = False,
+        query_name: str | None = None,
+    ) -> QueryResult:
+        """Execute a logical plan on the cluster.
 
-    def sql(self, text: str) -> QueryResult:
-        """Parse, plan, and execute a SQL statement."""
-        return self.run(sql_to_plan(text, self.database.schema))
+        With ``analyze=True`` the result carries a query trace and
+        ``result.explain_analyze()`` renders the annotated-vs-measured
+        plan."""
+        return self.executor.execute(plan, analyze=analyze, query_name=query_name)
+
+    def sql(self, text: str, analyze: bool = False) -> QueryResult:
+        """Parse, plan, and execute a SQL statement.
+
+        A leading ``EXPLAIN [ANALYZE]`` prefix turns the statement into
+        its plan rendering: the result holds one ``(plan,)`` row per
+        output line instead of query rows (ANALYZE runs the query and
+        renders measurements; plain EXPLAIN only plans it).
+        """
+        from repro.sql.planner import strip_explain
+
+        mode, body = strip_explain(text)
+        if mode == "explain":
+            lines = self.explain(body).splitlines()
+            return _text_result(lines)
+        plan = sql_to_plan(body, self.database.schema)
+        if mode == "explain_analyze":
+            result = self.run(plan, analyze=True)
+            return _text_result(result.explain_analyze().splitlines())
+        return self.run(plan, analyze=analyze)
 
     def explain(self, plan_or_sql: PlanNode | str) -> str:
         """The annotated physical plan, as text."""
@@ -122,6 +161,16 @@ class SimulatedCluster:
         else:
             plan = plan_or_sql
         return self.executor.explain(plan)
+
+    def explain_analyze(
+        self, plan_or_sql: PlanNode | str, query_name: str | None = None
+    ) -> str:
+        """Run the query traced and render ``EXPLAIN ANALYZE`` text."""
+        if isinstance(plan_or_sql, str):
+            plan = sql_to_plan(plan_or_sql, self.database.schema)
+        else:
+            plan = plan_or_sql
+        return self.run(plan, analyze=True, query_name=query_name).explain_analyze()
 
     def simulated_seconds(self, plan: PlanNode) -> float:
         """Execute *plan* and return its simulated runtime."""

@@ -53,6 +53,7 @@ from concurrent.futures import (
 from typing import TYPE_CHECKING, Callable, NamedTuple
 
 from repro.engine.context import ContextDelta, ExecutionContext, TraceEvent
+from repro.obs.metrics import TIME_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.operators import PhysicalOperator
@@ -95,10 +96,15 @@ def _timed(
         return
     started = time.perf_counter()
     fn()
+    elapsed = time.perf_counter() - started
+    if multiprocessing.current_process().name == "MainProcess":
+        worker = threading.current_thread().name
+    else:
+        worker = f"pid:{os.getpid()}"
+    ctx.metrics.inc(f"engine.tasks.{phase}")
+    ctx.metrics.observe("time.task_seconds", elapsed, TIME_BUCKETS)
     ctx.record_trace(
-        TraceEvent(
-            op.op_id, op.label, phase, node_id, time.perf_counter() - started
-        )
+        TraceEvent(op.op_id, op.label, phase, node_id, elapsed, worker)
     )
 
 

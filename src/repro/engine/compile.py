@@ -16,6 +16,8 @@ with serial execution.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 from repro.errors import ExecutionError
 from repro.query.plan import (
     Aggregate,
@@ -28,7 +30,7 @@ from repro.query.plan import (
     Repartition,
     Scan,
 )
-from repro.query.relation import Method, has_column
+from repro.query.relation import Method, PartInfo, has_column
 from repro.query.rewrite import Annotated
 from repro.engine.operators import (
     PhysicalAggregate,
@@ -55,14 +57,21 @@ def compile_plan(
     root = compiler.lower(annotated)
     if annotated.props.governing:
         # Final PREF dedup before results leave the cluster (the
-        # interpreter's _finalise); charged at full input size.
+        # interpreter's _finalise); charged at full input size.  Its
+        # result no longer carries governing dup columns, which the
+        # corrected props record for EXPLAIN ANALYZE.
+        dedup_props = replace(annotated.props, governing=())
         root = PhysicalDedup(
-            annotated,
+            replace(annotated, props=dedup_props),
             root,
             annotated.props.positions(annotated.props.governing),
             indexed=False,
         )
-    root = PhysicalGather(annotated, root)
+    gather_part = PartInfo(Method.GATHERED, 1)
+    gather_props = replace(
+        root.annotated.props, part=gather_part, governing=()
+    )
+    root = PhysicalGather(replace(annotated, props=gather_props), root)
     for op_id, op in enumerate(root.walk()):
         op.op_id = op_id
     return root

@@ -28,8 +28,10 @@ through the same deferred-sort path as direct recording.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
+
+from repro.obs.metrics import ROW_BUCKETS, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.engine.operators import PhysicalOperator
@@ -49,6 +51,11 @@ class OperatorStats:
     shuffles: int = 0
     partitions_scanned: int = 0
     rows_out: int = 0
+    #: Rows dropped by PREF duplicate elimination (dedup operators and
+    #: the governing-bitmap skips inside repartition routing).
+    dup_eliminated: int = 0
+    #: Output partition index -> rows emitted into it, for skew reporting.
+    rows_out_by_partition: dict[int, int] = field(default_factory=dict)
 
     @property
     def total_work(self) -> float:
@@ -70,6 +77,9 @@ class TraceEvent:
     phase: str  #: "prepare" | "exchange" | "partition"
     node_id: int | None
     seconds: float
+    #: Where the task ran ("pid:<n>" for process-pool workers, a thread
+    #: name otherwise).  Excluded from canonical trace comparisons.
+    worker: str | None = None
 
 
 class ContextDelta:
@@ -94,10 +104,13 @@ class ContextDelta:
         self.rows_shipped = 0
         self.shuffle_count = 0
         self.partitions_scanned = 0
+        self.rows_dup_eliminated = 0
         self.join_events: list[tuple[int, int, int, int]] = []
         #: op_id -> [per-node work, network bytes, rows shipped, shuffles,
-        #: partitions scanned, rows out]
+        #: partitions scanned, rows out, rows-out-by-partition,
+        #: dup-eliminated]
         self.op_slots: dict[int, list] = {}
+        self.metrics = MetricsRegistry(locked=False)
         self.trace_events: list[TraceEvent] = []
         #: Non-None makes ``_timed`` measure tasks (mirrors ``ctx.trace``).
         self.trace = self.trace_events.append if collect_trace else None
@@ -105,7 +118,7 @@ class ContextDelta:
     def _slot(self, op_id: int) -> list:
         slot = self.op_slots.get(op_id)
         if slot is None:
-            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0]
+            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0, {}, 0]
             self.op_slots[op_id] = slot
         return slot
 
@@ -115,6 +128,7 @@ class ContextDelta:
         self.node_work[node] += rows
         self.rows_processed += int(rows)
         self._slot(op.op_id)[0][node] += rows
+        self.metrics.inc("engine.rows.processed", int(rows))
 
     def account(
         self, op: "PhysicalOperator", method: "Method", index: int, rows: float
@@ -137,22 +151,39 @@ class ContextDelta:
         slot = self._slot(op.op_id)
         slot[1] += byte_count
         slot[2] += rows
+        self.metrics.inc("engine.bytes.shuffled", byte_count)
+        self.metrics.inc("engine.rows.shipped", rows)
 
     def add_shuffle(self, op: "PhysicalOperator") -> None:
         self.shuffle_count += 1
         self._slot(op.op_id)[3] += 1
+        self.metrics.inc("engine.shuffles")
 
     def add_partition_scanned(self, op: "PhysicalOperator") -> None:
         self.partitions_scanned += 1
         self._slot(op.op_id)[4] += 1
+        self.metrics.inc("engine.partitions.scanned")
 
     def add_join_event(
         self, op: "PhysicalOperator", node: int, build_rows: int, probe_rows: int
     ) -> None:
         self.join_events.append((op.op_id, node, build_rows, probe_rows))
 
-    def add_output(self, op: "PhysicalOperator", rows: int) -> None:
-        self._slot(op.op_id)[5] += rows
+    def add_output(
+        self, op: "PhysicalOperator", rows: int, partition: int = 0
+    ) -> None:
+        slot = self._slot(op.op_id)
+        slot[5] += rows
+        slot[6][partition] = slot[6].get(partition, 0) + rows
+        self.metrics.inc("engine.rows.out", rows)
+        self.metrics.observe("engine.partition_rows", rows, ROW_BUCKETS)
+
+    def add_dup_eliminated(self, op: "PhysicalOperator", rows: int) -> None:
+        if rows <= 0:
+            return
+        self.rows_dup_eliminated += rows
+        self._slot(op.op_id)[7] += rows
+        self.metrics.inc("engine.rows.dup_eliminated", rows)
 
     def record_trace(self, event: TraceEvent) -> None:
         if self.trace is not None:
@@ -186,6 +217,7 @@ class ExecutionContext:
         self.node_count = node_count
         self.stats = stats or ExecutionStats(node_count)
         self.trace = trace
+        self.metrics = MetricsRegistry(locked=True)
         self._lock = threading.Lock()
         self._operators: dict[int, OperatorStats] = {}
         self._join_events: list[tuple[int, int, int, int]] = []
@@ -211,6 +243,7 @@ class ExecutionContext:
         with self._lock:
             self.stats.add_work(node, rows)
             self._operators[op.op_id].node_work[node] += rows
+        self.metrics.inc("engine.rows.processed", int(rows))
 
     def account(
         self, op: "PhysicalOperator", method: Method, index: int, rows: float
@@ -228,6 +261,7 @@ class ExecutionContext:
                 for node in range(self.node_count):
                     self.stats.add_work(node, rows)
                     slot.node_work[node] += rows
+            self.metrics.inc("engine.rows.processed", int(rows) * self.node_count)
         elif method is Method.GATHERED:
             self.add_work(op, 0, rows)
         else:
@@ -242,18 +276,22 @@ class ExecutionContext:
             slot = self._operators[op.op_id]
             slot.network_bytes += byte_count
             slot.rows_shipped += rows
+        self.metrics.inc("engine.bytes.shuffled", byte_count)
+        self.metrics.inc("engine.rows.shipped", rows)
 
     def add_shuffle(self, op: "PhysicalOperator") -> None:
         """Account one exchange round-trip performed by *op*."""
         with self._lock:
             self.stats.add_shuffle()
             self._operators[op.op_id].shuffles += 1
+        self.metrics.inc("engine.shuffles")
 
     def add_partition_scanned(self, op: "PhysicalOperator") -> None:
         """Account one materialised base-table partition."""
         with self._lock:
             self.stats.partitions_scanned += 1
             self._operators[op.op_id].partitions_scanned += 1
+        self.metrics.inc("engine.partitions.scanned")
 
     def add_join_event(
         self, op: "PhysicalOperator", node: int, build_rows: int, probe_rows: int
@@ -262,10 +300,27 @@ class ExecutionContext:
         with self._lock:
             self._join_events.append((op.op_id, node, build_rows, probe_rows))
 
-    def add_output(self, op: "PhysicalOperator", rows: int) -> None:
-        """Record rows emitted by *op* (breakdown only, not cost-bearing)."""
+    def add_output(
+        self, op: "PhysicalOperator", rows: int, partition: int = 0
+    ) -> None:
+        """Record rows emitted by *op* into output *partition*
+        (breakdown only, not cost-bearing)."""
         with self._lock:
-            self._operators[op.op_id].rows_out += rows
+            slot = self._operators[op.op_id]
+            slot.rows_out += rows
+            by_partition = slot.rows_out_by_partition
+            by_partition[partition] = by_partition.get(partition, 0) + rows
+        self.metrics.inc("engine.rows.out", rows)
+        self.metrics.observe("engine.partition_rows", rows, ROW_BUCKETS)
+
+    def add_dup_eliminated(self, op: "PhysicalOperator", rows: int) -> None:
+        """Record rows dropped by PREF duplicate elimination in *op*."""
+        if rows <= 0:
+            return
+        with self._lock:
+            self.stats.rows_dup_eliminated += rows
+            self._operators[op.op_id].dup_eliminated += rows
+        self.metrics.inc("engine.rows.dup_eliminated", rows)
 
     def record_trace(self, event: TraceEvent) -> None:
         """Forward *event* to the trace hook, if one is installed."""
@@ -293,6 +348,7 @@ class ExecutionContext:
             self.stats.rows_shipped += delta.rows_shipped
             self.stats.shuffle_count += delta.shuffle_count
             self.stats.partitions_scanned += delta.partitions_scanned
+            self.stats.rows_dup_eliminated += delta.rows_dup_eliminated
             self._join_events.extend(delta.join_events)
             for op_id, slot in delta.op_slots.items():
                 target = self._operators[op_id]
@@ -303,6 +359,11 @@ class ExecutionContext:
                 target.shuffles += slot[3]
                 target.partitions_scanned += slot[4]
                 target.rows_out += slot[5]
+                by_partition = target.rows_out_by_partition
+                for partition, rows in slot[6].items():
+                    by_partition[partition] = by_partition.get(partition, 0) + rows
+                target.dup_eliminated += slot[7]
+        self.metrics.merge(delta.metrics)
         for event in delta.trace_events:
             self.record_trace(event)
 
@@ -326,7 +387,7 @@ def format_operator_stats(operators: list[OperatorStats]) -> str:
     """Render a per-operator breakdown as an aligned text table."""
     headers = (
         "op", "operator", "max node work", "total work",
-        "net bytes", "rows out", "shuffles",
+        "net bytes", "rows out", "shuffles", "dup elim",
     )
     rows = [
         (
@@ -337,6 +398,7 @@ def format_operator_stats(operators: list[OperatorStats]) -> str:
             str(op.network_bytes),
             str(op.rows_out),
             str(op.shuffles),
+            str(op.dup_eliminated),
         )
         for op in operators
     ]

@@ -215,7 +215,7 @@ class PhysicalScan(PhysicalOperator):
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         if self.replicated:
             rows = list(self.table.partitions[0].rows)
-            ctx.add_output(self, len(rows))
+            ctx.add_output(self, len(rows), 0)
             self.store(0, rows)
             return
         partition = self.table.partitions[p]
@@ -230,7 +230,7 @@ class PhysicalScan(PhysicalOperator):
             ]
         else:
             rows = list(partition.rows)
-        ctx.add_output(self, len(rows))
+        ctx.add_output(self, len(rows), p)
         self.store(p, rows)
 
 
@@ -260,7 +260,7 @@ class PhysicalFilter(PhysicalOperator):
             self, child.props.part.method, p,
             len(kept) if self.indexed else len(rows),
         )
-        ctx.add_output(self, len(kept))
+        ctx.add_output(self, len(kept), p)
         self.store(p, kept)
 
 
@@ -287,7 +287,7 @@ class PhysicalProject(PhysicalOperator):
         if self.local_distinct:
             projected = list(dict.fromkeys(projected))
         ctx.account(self, child.props.part.method, p, len(rows))
-        ctx.add_output(self, len(projected))
+        ctx.add_output(self, len(projected), p)
         self.store(p, projected)
 
 
@@ -322,7 +322,8 @@ class PhysicalDedup(PhysicalOperator):
             self, child.props.part.method, p,
             len(kept) if self.indexed else len(rows),
         )
-        ctx.add_output(self, len(kept))
+        ctx.add_dup_eliminated(self, len(rows) - len(kept))
+        ctx.add_output(self, len(kept), p)
         self.store(p, kept)
 
 
@@ -353,7 +354,7 @@ class PhysicalPartnerFilter(PhysicalOperator):
             self, child.props.part.method, p,
             len(kept) if self.indexed else len(rows),
         )
-        ctx.add_output(self, len(kept))
+        ctx.add_output(self, len(kept), p)
         self.store(p, kept)
 
 
@@ -401,11 +402,13 @@ class PhysicalRepartition(PhysicalOperator):
         governing = self.governing
         count = self.output_count
         targets: list[list[Row]] = [[] for _ in range(count)]
+        skipped = 0
         if self.child_method is Method.REPLICATED:
             # Every node already holds the full content; each just keeps
             # its own hash range — no network traffic.
             for row in rows:
                 if governing and any(row[q] for q in governing):
+                    skipped += 1
                     continue
                 targets[stable_hash(self._key_of(row)) % count].append(row)
             for index in range(count):
@@ -417,11 +420,13 @@ class PhysicalRepartition(PhysicalOperator):
             row_bytes = self.row_bytes
             for row in rows:
                 if governing and any(row[q] for q in governing):
+                    skipped += 1
                     continue
                 target = stable_hash(self._key_of(row)) % count
                 targets[target].append(row)
                 if target != source:
                     ctx.add_network(self, row_bytes, 1)
+        ctx.add_dup_eliminated(self, skipped)
         self._buckets[p] = targets
 
     def exchange(self, ctx: ExecutionContext) -> None:
@@ -437,8 +442,10 @@ class PhysicalRepartition(PhysicalOperator):
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         rows = self._staged[p]
         if self.local_distinct:
-            rows = list(dict.fromkeys(rows))
-        ctx.add_output(self, len(rows))
+            deduped = list(dict.fromkeys(rows))
+            ctx.add_dup_eliminated(self, len(rows) - len(deduped))
+            rows = deduped
+        ctx.add_output(self, len(rows), p)
         self.store(p, rows)
 
     partition_reads_inputs = False
@@ -641,7 +648,7 @@ class PhysicalHashJoin(PhysicalOperator):
                 len(kept_rows) if ship_left else len(shipped_rows),
                 len(shipped_rows) if ship_left else len(kept_rows),
             )
-            ctx.add_output(self, len(out))
+            ctx.add_output(self, len(out), 0)
             self.store(0, out)
             for index in range(1, self.output_count):
                 self.store(index, [])
@@ -679,7 +686,7 @@ class PhysicalHashJoin(PhysicalOperator):
             out = self._join_rows(left_rows, right_rows)
             ctx.add_work(self, 0, len(left_rows) + len(right_rows))
             ctx.add_join_event(self, 0, len(right_rows), len(left_rows))
-            ctx.add_output(self, len(out))
+            ctx.add_output(self, len(out), 0)
             self.store(0, out)
             return
         left_rows = left.node_rows(p)
@@ -687,7 +694,7 @@ class PhysicalHashJoin(PhysicalOperator):
         out = self._join_rows(left_rows, right_rows)
         ctx.add_work(self, p, len(left_rows) + len(right_rows) + len(out))
         ctx.add_join_event(self, p, len(right_rows), len(left_rows))
-        ctx.add_output(self, len(out))
+        ctx.add_output(self, len(out), p)
         self.store(p, out)
 
     def _run_broadcast_partition(self, ctx: ExecutionContext, p: int) -> None:
@@ -705,7 +712,7 @@ class PhysicalHashJoin(PhysicalOperator):
         build_rows = len(kept_rows) if self._ship_left else len(shipped_rows)
         probe_rows = len(shipped_rows) if self._ship_left else len(kept_rows)
         ctx.add_join_event(self, p, build_rows, probe_rows)
-        ctx.add_output(self, len(out))
+        ctx.add_output(self, len(out), p)
         self.store(p, out)
 
 
@@ -839,19 +846,19 @@ class PhysicalAggregate(PhysicalOperator):
             rows = child.partition_rows(0)
             ctx.add_work(self, 0, len(rows))
             out = self._aggregate_rows(rows)
-            ctx.add_output(self, len(out))
+            ctx.add_output(self, len(out), 0)
             self.store(0, out)
             return
         if self.strategy == "local":
             rows = child.partition_rows(p)
             out = self._aggregate_rows(rows)
             ctx.add_work(self, p, len(rows) + len(out))
-            ctx.add_output(self, len(out))
+            ctx.add_output(self, len(out), p)
             self.store(p, out)
             return
         rows = self._staged[p]
         ctx.add_work(self, 0 if self.scalar else p, len(rows))
-        ctx.add_output(self, len(rows))
+        ctx.add_output(self, len(rows), p)
         self.store(p, rows)
 
     # -- distributed task protocol -----------------------------------------
@@ -902,7 +909,7 @@ class PhysicalOrderBy(PhysicalOperator):
         self._staged = rows
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
-        ctx.add_output(self, len(self._staged))
+        ctx.add_output(self, len(self._staged), 0)
         self.store(0, self._staged)
 
     partition_reads_inputs = False
@@ -928,7 +935,7 @@ class PhysicalGather(PhysicalOperator):
         self._staged = _gather(self.inputs[0], self, ctx)
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
-        ctx.add_output(self, len(self._staged))
+        ctx.add_output(self, len(self._staged), 0)
         self.store(0, self._staged)
 
     partition_reads_inputs = False

@@ -57,6 +57,57 @@ def rows_equal(a: list, b: list, tolerance: bool = True) -> bool:
     return True
 
 
+def span_trees_equal(a, b) -> bool:
+    """Canonical (timing-free) equality of two query traces.
+
+    *a*/*b* are :class:`~repro.obs.span.QueryTrace` objects: span-tree
+    shape, row/shuffle/dup counters and merged metrics must match;
+    wall times and worker identities are excluded by canonicalisation.
+    """
+    if a is None or b is None:
+        return a is None and b is None
+    return a.canonical() == b.canonical()
+
+
+def span_tree_diff(label_a: str, a, label_b: str, b, limit: int = 5) -> str:
+    """First-differences summary between two traces' span trees."""
+    if a is None or b is None:
+        return f"{label_a}: {'no trace' if a is None else 'trace'}, " \
+               f"{label_b}: {'no trace' if b is None else 'trace'}"
+    lines = []
+    spans_a = {span.op_id: span for span in a.spans()}
+    spans_b = {span.op_id: span for span in b.spans()}
+    shown = 0
+    for op_id in sorted(set(spans_a) | set(spans_b)):
+        span_a, span_b = spans_a.get(op_id), spans_b.get(op_id)
+        if span_a is None or span_b is None:
+            lines.append(
+                f"  op {op_id}: only in "
+                f"{label_a if span_b is None else label_b}"
+            )
+        else:
+            ca = span_a.canonical()[:-1]  # own fields, children compared
+            cb = span_b.canonical()[:-1]  # via their own op_ids
+            if ca == cb:
+                continue
+            lines.append(
+                f"  op {op_id} ({span_a.label}): "
+                f"{label_a} rows_out={span_a.rows_out} "
+                f"shipped={span_a.rows_shipped} dup={span_a.dup_eliminated} "
+                f"tasks={len(span_a.tasks)} vs "
+                f"{label_b} rows_out={span_b.rows_out} "
+                f"shipped={span_b.rows_shipped} dup={span_b.dup_eliminated} "
+                f"tasks={len(span_b.tasks)}"
+            )
+        shown += 1
+        if shown >= limit:
+            lines.append("  ...")
+            break
+    if not lines and a.metrics.canonical() != b.metrics.canonical():
+        lines.append("  merged metrics registries differ")
+    return "\n".join([f"span trees diverge ({label_a} vs {label_b}):"] + lines)
+
+
 def diff_summary(label_a: str, a: list, label_b: str, b: list, limit: int = 3) -> str:
     """Human-readable first-differences summary for divergence reports."""
     ca, cb = canonical_rows(a), canonical_rows(b)

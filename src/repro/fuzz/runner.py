@@ -28,7 +28,12 @@ from dataclasses import dataclass
 
 from repro.engine.backends import Backend, SerialBackend, make_backend
 from repro.fuzz import ir
-from repro.fuzz.differ import diff_summary, rows_equal
+from repro.fuzz.differ import (
+    diff_summary,
+    rows_equal,
+    span_tree_diff,
+    span_trees_equal,
+)
 from repro.fuzz.generator import generate_case
 from repro.fuzz.oracle import OracleError, evaluate_query
 from repro.fuzz.sqlite_oracle import SqlTranslationError, run_sqlite
@@ -155,6 +160,18 @@ def run_case(
     return None
 
 
+def _trace_dumps(serial_trace, other_trace, spec: str) -> str:
+    """Both backends' full JSON traces, for the divergence report."""
+    import json
+
+    from repro.obs.explain import trace_to_json
+
+    return (
+        f"serial trace: {json.dumps(trace_to_json(serial_trace), sort_keys=True)}\n"
+        f"{spec} trace: {json.dumps(trace_to_json(other_trace), sort_keys=True)}"
+    )
+
+
 def _check_query(
     query: dict,
     index: int,
@@ -174,7 +191,7 @@ def _check_query(
             f"error:plan:{type(exc).__name__}", str(exc), phase, index
         )
     try:
-        expected = reference.execute(plan)
+        expected = reference.execute(plan, analyze=True)
     except Exception as exc:  # noqa: BLE001
         return Divergence(
             f"error:execute:{type(exc).__name__}", str(exc), phase, index
@@ -182,7 +199,7 @@ def _check_query(
     expected_stats = expected.stats.canonical()
     for spec, executor in others:
         try:
-            result = executor.execute(ir.build_plan(query))
+            result = executor.execute(ir.build_plan(query), analyze=True)
         except Exception as exc:  # noqa: BLE001
             return Divergence(
                 f"error:execute:{type(exc).__name__}",
@@ -203,6 +220,16 @@ def _check_query(
                 "backend_stats",
                 f"backend {spec} stats {result.stats.canonical()!r} != "
                 f"serial {expected_stats!r}",
+                phase,
+                index,
+            )
+        if not span_trees_equal(result.trace, expected.trace):
+            return Divergence(
+                "backend_trace",
+                f"backend {spec} span tree differs from serial\n"
+                + span_tree_diff("serial", expected.trace, spec, result.trace)
+                + "\n"
+                + _trace_dumps(expected.trace, result.trace, spec),
                 phase,
                 index,
             )

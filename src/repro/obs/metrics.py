@@ -1,0 +1,202 @@
+"""A process-safe registry of counters and histograms for the engine.
+
+The engine's :class:`~repro.engine.context.ExecutionContext` owns one
+registry per query and feeds it from the same recording calls that update
+:class:`~repro.query.cost.ExecutionStats`; worker processes record into
+the plain (lock-free) registry of their
+:class:`~repro.engine.context.ContextDelta` and the coordinator folds
+those in through :meth:`MetricsRegistry.merge` — the same commutative
+path ``merge_delta`` uses for the cost stats, which is what makes the
+merged totals independent of task-completion order and identical across
+the serial/thread/process backends.
+
+Two metric kinds:
+
+* **counters** — monotonically increasing numbers (row counts, bytes,
+  shuffle round-trips).  All engine counters are integers, so merging is
+  exact in any order.
+* **histograms** — fixed-bucket distributions (per-partition row counts
+  for skew, task wall times).  Bucket boundaries are fixed at creation,
+  so merging is a per-bucket sum and therefore commutative.
+
+Wall-clock metrics live under the ``time.`` prefix and are excluded from
+:meth:`MetricsRegistry.canonical`, the comparison form used by the
+backend-equivalence checks (timings are scheduling artefacts; counts are
+not).
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Default buckets for row-count distributions (upper bounds, inclusive).
+ROW_BUCKETS: tuple[float, ...] = (
+    1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0, 262144.0, float("inf"),
+)
+
+#: Default buckets for wall-time distributions, in seconds.
+TIME_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, float("inf"),
+)
+
+#: Metric-name prefix whose values are wall-clock measurements and must
+#: be excluded from cross-backend comparisons.
+TIMING_PREFIX = "time."
+
+
+class Histogram:
+    """A fixed-bucket histogram; merging sums per-bucket counts."""
+
+    __slots__ = ("name", "buckets", "counts", "count", "total")
+
+    def __init__(self, name: str, buckets: tuple[float, ...]) -> None:
+        if not buckets or buckets[-1] != float("inf"):
+            buckets = tuple(buckets) + (float("inf"),)
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+        self.count += 1
+        self.total += value
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: incompatible buckets "
+                f"{other.buckets!r} != {self.buckets!r}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+
+    def canonical(self) -> tuple:
+        """Comparable form: buckets and counts, no float totals."""
+        return (self.name, self.buckets, tuple(self.counts), self.count)
+
+    def as_dict(self) -> dict:
+        return {
+            "buckets": [b for b in self.buckets],
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with commutative merging.
+
+    The coordinator's registry (``locked=True``) may be updated from any
+    backend thread; worker-side registries (inside a
+    :class:`~repro.engine.context.ContextDelta`) are single-owner and
+    skip the lock.
+    """
+
+    def __init__(self, locked: bool = True) -> None:
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock() if locked else None
+
+    def __getstate__(self) -> dict:
+        # Locks cannot cross pickle/deepcopy; the copy keeps the same
+        # locked-ness and gets a fresh lock on restore.
+        return {
+            "counters": self.counters,
+            "histograms": self.histograms,
+            "locked": self._lock is not None,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.counters = state["counters"]
+        self.histograms = state["histograms"]
+        self._lock = threading.Lock() if state["locked"] else None
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add *amount* to counter *name* (created at zero)."""
+        if self._lock is None:
+            self.counters[name] = self.counters.get(name, 0) + amount
+            return
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def observe(
+        self, name: str, value: float, buckets: tuple[float, ...] = ROW_BUCKETS
+    ) -> None:
+        """Record *value* into histogram *name* (created with *buckets*)."""
+        if self._lock is None:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(name, buckets)
+            histogram.observe(value)
+            return
+        with self._lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(name, buckets)
+            histogram.observe(value)
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold *other* into this registry (commutative: sums only)."""
+        if self._lock is not None:
+            with self._lock:
+                self._merge(other)
+        else:
+            self._merge(other)
+
+    def _merge(self, other: "MetricsRegistry") -> None:
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        for name, histogram in other.histograms.items():
+            existing = self.histograms.get(name)
+            if existing is None:
+                copy = Histogram(name, histogram.buckets)
+                copy.merge(histogram)
+                self.histograms[name] = copy
+            else:
+                existing.merge(histogram)
+
+    # -- reading -----------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (zero if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def snapshot(self) -> dict:
+        """A plain-data snapshot of every metric (JSON-serialisable)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def canonical(self, exclude_prefixes: tuple[str, ...] = (TIMING_PREFIX,)) -> tuple:
+        """Order-independent comparable form, excluding timing metrics.
+
+        Two backends that executed the same query must produce equal
+        canonical registries regardless of scheduling, task fusion, or
+        the order their deltas merged in.
+        """
+        counters = tuple(
+            (name, value)
+            for name, value in sorted(self.counters.items())
+            if not name.startswith(exclude_prefixes)
+        )
+        histograms = tuple(
+            histogram.canonical()
+            for name, histogram in sorted(self.histograms.items())
+            if not name.startswith(exclude_prefixes)
+        )
+        return (counters, histograms)

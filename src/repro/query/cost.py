@@ -69,6 +69,9 @@ class ExecutionStats:
     #: Base-table partitions actually materialised by scans (partition
     #: pruning reduces this).
     partitions_scanned: int = 0
+    #: Rows discarded as PREF-induced duplicates (dedup operators and
+    #: governing-column skips during repartitioning).
+    rows_dup_eliminated: int = 0
     #: (node, build rows, probe rows) per executed hash join, for the
     #: memory-spill model.
     join_events: list[tuple[int, int, int]] = field(default_factory=list)
@@ -115,6 +118,7 @@ class ExecutionStats:
             tuple(self.node_work),
             self.rows_processed,
             self.partitions_scanned,
+            self.rows_dup_eliminated,
             tuple(sorted(self.join_events)),
         )
 
@@ -149,4 +153,5 @@ class ExecutionStats:
         self.shuffle_count += other.shuffle_count
         self.rows_processed += other.rows_processed
         self.partitions_scanned += other.partitions_scanned
+        self.rows_dup_eliminated += other.rows_dup_eliminated
         self.join_events.extend(other.join_events)

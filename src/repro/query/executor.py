@@ -22,7 +22,7 @@ a per-operator × per-node breakdown exposed on :class:`QueryResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.engine.backends import Backend, SerialBackend
 from repro.engine.context import (
@@ -38,6 +38,9 @@ from repro.query.plan import PlanNode
 from repro.query.relation import is_hidden
 from repro.query.rewrite import Annotated, Rewriter
 from repro.storage.partitioned import PartitionedDatabase
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.span import QueryTrace
 
 Row = tuple
 
@@ -55,14 +58,17 @@ class QueryResult:
             accounting, in plan post-order.
         cost: The cost parameters of the cluster that ran the query;
             :meth:`simulated_seconds` defaults to them.
+        trace: The :class:`~repro.obs.span.QueryTrace` span tree, when
+            the query ran with ``analyze=True`` (else None).
     """
 
     columns: tuple[str, ...]
     rows: list[Row]
     stats: ExecutionStats
-    plan: Annotated
+    plan: Annotated | None
     operators: list[OperatorStats] = field(default_factory=list)
     cost: CostParameters | None = None
+    trace: "QueryTrace | None" = None
 
     def simulated_seconds(self, params: CostParameters | None = None) -> float:
         """Simulated runtime under *params* (default: the cluster's own
@@ -76,6 +82,19 @@ class QueryResult:
     def explain_operators(self) -> str:
         """The per-operator cost breakdown, as an aligned text table."""
         return format_operator_stats(self.operators)
+
+    def explain_analyze(self) -> str:
+        """The ``EXPLAIN ANALYZE`` text form of this run's trace.
+
+        Requires the query to have run with ``analyze=True``.
+        """
+        if self.trace is None:
+            raise ValueError(
+                "query ran without analyze=True: no trace to render"
+            )
+        from repro.obs.explain import render_analyze
+
+        return render_analyze(self.trace)
 
 
 class Executor:
@@ -113,8 +132,15 @@ class Executor:
         self.cost = cost
         self.trace = trace
 
-    def execute(self, plan: PlanNode) -> QueryResult:
-        """Rewrite, compile, and run *plan* on the backend."""
+    def execute(
+        self, plan: PlanNode, analyze: bool = False, query_name: str | None = None
+    ) -> QueryResult:
+        """Rewrite, compile, and run *plan* on the backend.
+
+        With ``analyze=True`` the run is traced and the result carries a
+        :class:`~repro.obs.span.QueryTrace` (``result.explain_analyze()``
+        renders it); any user trace hook still receives every event.
+        """
         # Deferred import: the compiler pulls in the whole operator set,
         # whose modules import repro.query submodules; importing it at
         # call time keeps every package-first import order working.
@@ -122,11 +148,36 @@ class Executor:
 
         annotated = self.rewriter.rewrite(plan)
         root = compile_plan(annotated, self.partitioned)
-        ctx = ExecutionContext(self.count, trace=self.trace)
+        trace_hook = self.trace
+        events: list[TraceEvent] = []
+        if analyze:
+            if trace_hook is None:
+                trace_hook = events.append
+            else:
+                user_hook = trace_hook
+
+                def trace_hook(event: TraceEvent) -> None:
+                    events.append(event)
+                    user_hook(event)
+
+        ctx = ExecutionContext(self.count, trace=trace_hook)
         for op in root.walk():
             ctx.register(op)
         self.backend.run(root, ctx)
         stats = ctx.finish()
+        trace = None
+        if analyze:
+            from repro.obs.span import build_trace
+
+            trace = build_trace(
+                root,
+                ctx.operator_stats(),
+                events,
+                ctx.metrics,
+                self.count,
+                backend=self.backend.name,
+                query=query_name,
+            )
         rows = root.partition_rows(0)
         props = annotated.props
         visible = props.visible_columns
@@ -144,6 +195,7 @@ class Executor:
             annotated,
             operators=ctx.operator_stats(),
             cost=self.cost,
+            trace=trace,
         )
 
     def explain(self, plan: PlanNode) -> str:

@@ -2,7 +2,7 @@
 
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import parse_select
-from repro.sql.planner import plan_select, sql_to_plan
+from repro.sql.planner import plan_select, sql_to_plan, strip_explain
 
 __all__ = [
     "Token",
@@ -10,5 +10,6 @@ __all__ = [
     "parse_select",
     "plan_select",
     "sql_to_plan",
+    "strip_explain",
     "tokenize",
 ]

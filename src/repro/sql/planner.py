@@ -8,6 +8,7 @@ aggregation/having/projection/order pipeline.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
 from repro.catalog.schema import DatabaseSchema
@@ -58,6 +59,26 @@ def plan_select(statement: SelectStatement, schema: DatabaseSchema) -> PlanNode:
 def sql_to_plan(text: str, schema: DatabaseSchema) -> PlanNode:
     """Parse and plan a SELECT statement in one step."""
     return plan_select(parse_select(text), schema)
+
+
+_EXPLAIN_PREFIX = re.compile(
+    r"^\s*EXPLAIN(?P<analyze>\s+ANALYZE)?\b\s*", re.IGNORECASE
+)
+
+
+def strip_explain(text: str) -> tuple[str | None, str]:
+    """Split a leading ``EXPLAIN [ANALYZE]`` prefix off a SQL statement.
+
+    Returns ``(mode, body)`` where *mode* is ``"explain"``,
+    ``"explain_analyze"``, or None for an unprefixed statement.  The
+    prefix is handled here (not in the lexer) so EXPLAIN stays a client
+    feature of the cluster facade rather than part of the query grammar.
+    """
+    match = _EXPLAIN_PREFIX.match(text)
+    if match is None:
+        return None, text
+    mode = "explain_analyze" if match.group("analyze") else "explain"
+    return mode, text[match.end():]
 
 
 class _Planner:

@@ -1,0 +1,89 @@
+"""The fuzz differ's span-tree oracle: broken counters must be caught.
+
+``ExecutionStats`` canonicalisation cannot see per-operator output
+counts (they are breakdown-only), so a backend that miscounts
+``rows_out`` in a worker delta would slip past the stats check.  The
+span-tree oracle closes that hole: these tests deliberately break the
+accounting and assert the differ reports a ``backend_trace`` divergence
+naming the offending operator.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from helpers import pref_chain_config, shop_database
+from repro.engine import SerialBackend
+from repro.engine.context import ContextDelta
+from repro.fuzz.differ import span_tree_diff, span_trees_equal
+from repro.fuzz.generator import generate_case
+from repro.fuzz.runner import run_case
+from repro.partitioning import partition_database
+from repro.query import Executor
+from repro.sql import sql_to_plan
+
+SQL = (
+    "SELECT c.cname, o.total FROM customer c "
+    "JOIN orders o ON c.custkey = o.custkey"
+)
+
+
+def _trace(executor, schema):
+    return executor.execute(sql_to_plan(SQL, schema), analyze=True).trace
+
+
+def test_span_trees_equal_reflexive_and_none_safe():
+    database = shop_database(seed=7)
+    partitioned = partition_database(database, pref_chain_config(4))
+    executor = Executor(partitioned, backend=SerialBackend())
+    first = _trace(executor, database.schema)
+    second = _trace(executor, database.schema)
+    # Timings differ between the two runs, canonical trees do not.
+    assert span_trees_equal(first, second)
+    assert span_trees_equal(None, None)
+    assert not span_trees_equal(first, None)
+    assert not span_trees_equal(None, second)
+
+
+def test_perturbed_counter_detected_and_named():
+    database = shop_database(seed=7)
+    partitioned = partition_database(database, pref_chain_config(4))
+    executor = Executor(partitioned, backend=SerialBackend())
+    reference = _trace(executor, database.schema)
+    broken = copy.deepcopy(_trace(executor, database.schema))
+    [join] = broken.joins()
+    join.rows_out += 1
+    assert not span_trees_equal(reference, broken)
+    report = span_tree_diff("serial", reference, "broken", broken)
+    assert f"op {join.op_id}" in report
+    assert join.label in report
+    # An operator missing entirely is reported as one-sided.
+    pruned = copy.deepcopy(reference)
+    pruned.root.children = ()
+    report = span_tree_diff("serial", reference, "pruned", pruned)
+    assert "only in serial" in report
+
+
+def test_runner_catches_broken_worker_delta(monkeypatch):
+    # Under-counting rows_out in the process backend's worker deltas is
+    # invisible to the stats check (rows_out is breakdown-only) — the
+    # span-tree oracle must flag it as a backend_trace divergence.
+    case = generate_case(seed=11, index=0)
+    assert (
+        run_case(case, backends=("serial", "process"), check_sqlite=False)
+        is None
+    )
+
+    real_add_output = ContextDelta.add_output
+
+    def lying_add_output(self, op, rows, partition=0):
+        real_add_output(self, op, rows + 1, partition=partition)
+
+    monkeypatch.setattr(ContextDelta, "add_output", lying_add_output)
+    divergence = run_case(
+        case, backends=("serial", "process"), check_sqlite=False
+    )
+    assert divergence is not None
+    assert divergence.kind == "backend_trace"
+    assert "span tree differs from serial" in divergence.detail
+    assert "rows_out" in divergence.detail
