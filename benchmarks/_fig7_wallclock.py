@@ -1,0 +1,100 @@
+"""Wall-clock timing of the fig7 TPC-H workload (engine speed probe).
+
+Not a pytest benchmark: run directly to measure how long the engine takes
+to physically run the fig7 experiment (all runtime queries under all four
+variants).  Loading (variant materialisation) and query execution are
+timed separately — vectorizing the operators speeds up execution, not
+partition placement — and both are reported along with their sum.  Used
+to record the row-engine vs batch-engine speedup in EXPERIMENTS.md.
+
+    PYTHONPATH=src python benchmarks/_fig7_wallclock.py [--repeat 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import NODES, TPCH_SF  # noqa: E402
+
+from repro.bench import paper_cost_parameters, run_workload, tpch_variants  # noqa: E402
+from repro.bench.harness import materialize_variant  # noqa: E402
+from repro.design import QuerySpec  # noqa: E402
+from repro.engine.rows import DEFAULT_BATCH_SIZE  # noqa: E402
+from repro.workloads.tpch import (  # noqa: E402
+    ALL_QUERIES,
+    SMALL_TABLES,
+    generate_tpch,
+    runtime_queries,
+)
+
+VARIANTS = [
+    "Classical",
+    "SD (wo small tables)",
+    "SD (wo small tables, wo redundancy)",
+    "WD (wo small tables)",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--analyze", action="store_true", default=False)
+    parser.add_argument("--batch-size", type=int, default=DEFAULT_BATCH_SIZE)
+    args = parser.parse_args()
+
+    database = generate_tpch(scale_factor=TPCH_SF, seed=1)
+    specs = [
+        QuerySpec.from_plan(name, build(), database.schema)
+        for name, build in ALL_QUERIES.items()
+    ]
+    cost = paper_cost_parameters(TPCH_SF)
+    queries = runtime_queries()
+    variants = tpch_variants(database, NODES, specs, SMALL_TABLES)
+
+    load_timings = []
+    exec_timings = []
+    totals = {}
+    for _ in range(args.repeat):
+        started = time.perf_counter()
+        prepared = {
+            name: materialize_variant(database, variants[name])
+            for name in VARIANTS
+        }
+        load_timings.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        runs = {
+            name: run_workload(
+                database, variants[name], queries, cost=cost,
+                analyze=args.analyze, batch_size=args.batch_size,
+                prepared=prepared[name],
+            )
+            for name in VARIANTS
+        }
+        exec_timings.append(time.perf_counter() - started)
+        totals = {
+            name: sum(run.seconds for run in variant_runs.values())
+            for name, variant_runs in runs.items()
+        }
+    best_load = min(load_timings)
+    best_exec = min(exec_timings)
+    print(
+        f"fig7 query execution wall clock: best {best_exec:.2f}s "
+        f"of {[round(t, 2) for t in exec_timings]}"
+    )
+    print(
+        f"fig7 variant load wall clock:    best {best_load:.2f}s "
+        f"of {[round(t, 2) for t in load_timings]}"
+    )
+    print(f"fig7 total (load + execute):     best {best_load + best_exec:.2f}s")
+    for name in VARIANTS:
+        print(f"  {name}: {totals[name]:.1f} simulated seconds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

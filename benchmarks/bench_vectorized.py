@@ -1,0 +1,166 @@
+"""Row-at-a-time loops vs the columnar kernels (engine micro-benchmark).
+
+The columnar refactor replaced the engine's per-row tuple loops with
+``ColumnBatch`` kernels.  This benchmark keeps the old row idioms alive
+as reference implementations for the three hot operator shapes — filter,
+hash-join probe, grouped aggregation — checks the batch kernels produce
+identical output, and reports the measured speedup.  It is the unit-level
+companion to the end-to-end numbers in EXPERIMENTS.md (fig7 wall clock).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.engine.rows import DEFAULT_BATCH_SIZE, ColumnBatch
+from repro.query.expressions import col, lit
+
+ROWS = 20_000
+BUILD_ROWS = 2_000
+COLUMNS = ["key", "grp", "price"]
+
+
+def _probe_rows():
+    rng = random.Random(42)
+    return [
+        (
+            rng.randrange(BUILD_ROWS * 2),
+            f"g{rng.randrange(25)}",
+            None if rng.random() < 0.02 else rng.random() * 100.0,
+        )
+        for _ in range(ROWS)
+    ]
+
+
+def _build_rows():
+    rng = random.Random(43)
+    return [(key, f"b{rng.randrange(10)}") for key in range(BUILD_ROWS)]
+
+
+def _best_of(fn, rounds: int = 5) -> tuple[float, object]:
+    result = None
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def _report_speedup(report, name: str, row_seconds: float, batch_seconds: float):
+    report(
+        name,
+        f"{name}: row {row_seconds * 1e3:.2f} ms -> "
+        f"batch {batch_seconds * 1e3:.2f} ms "
+        f"({row_seconds / batch_seconds:.1f}x)",
+    )
+
+
+def test_bench_filter_vectorized(report):
+    rows = _probe_rows()
+    batch = ColumnBatch.from_rows(rows, len(COLUMNS))
+    predicate = col("price") > lit(50.0)
+    row_fn = predicate.bind(COLUMNS)
+    batch_fn = predicate.bind_batch(COLUMNS)
+
+    def by_row():
+        return [row for row in rows if row_fn(row) is True]
+
+    def by_batch():
+        return ColumnBatch.concat(
+            [
+                chunk.compress(batch_fn(chunk))
+                for chunk in batch.chunks(DEFAULT_BATCH_SIZE)
+            ],
+            batch.width,
+        )
+
+    row_seconds, row_result = _best_of(by_row)
+    batch_seconds, batch_result = _best_of(by_batch)
+    assert batch_result.to_rows() == row_result
+    _report_speedup(report, "bench_filter_vectorized", row_seconds, batch_seconds)
+
+
+def test_bench_join_probe_vectorized(report):
+    probe_rows = _probe_rows()
+    build_rows = _build_rows()
+    probe = ColumnBatch.from_rows(probe_rows, len(COLUMNS))
+    build = ColumnBatch.from_rows(build_rows, 2)
+
+    def by_row():
+        # The row engine keyed both sides with per-row key tuples.
+        table: dict = {}
+        for index, row in enumerate(build_rows):
+            key = tuple(row[p] for p in (0,))
+            table.setdefault(key, []).append(index)
+        out = []
+        for left in probe_rows:
+            key = tuple(left[p] for p in (0,))
+            if None in key:
+                continue
+            for match in table.get(key, ()):
+                out.append(left + build_rows[match])
+        return out
+
+    def by_batch():
+        # The operators' unique-build fast path: optimistic dict(zip)
+        # build, C-level map probe, gather only the matched rows.
+        from itertools import compress as icompress
+
+        keys = build.columns[0]
+        table = dict(zip(keys, range(build.length)))
+        raw = list(map(table.get, probe.columns[0]))
+        mask = [match is not None for match in raw]
+        left = probe.compress(mask)
+        right = build.take(list(icompress(raw, mask)))
+        return ColumnBatch(left.columns + right.columns, left.length)
+
+    row_seconds, row_result = _best_of(by_row)
+    batch_seconds, batch_result = _best_of(by_batch)
+    assert batch_result.to_rows() == row_result
+    _report_speedup(
+        report, "bench_join_probe_vectorized", row_seconds, batch_seconds
+    )
+
+
+def test_bench_aggregate_keys_vectorized(report):
+    rows = _probe_rows()
+    batch = ColumnBatch.from_rows(rows, len(COLUMNS))
+    positions = (1, 0)
+
+    def by_row():
+        groups: dict = {}
+        for row in rows:
+            key = tuple(row[p] for p in positions)
+            state = groups.get(key)
+            if state is None:
+                groups[key] = state = [0, 0.0]
+            state[0] += 1
+            if row[2] is not None:
+                state[1] += row[2]
+        return {
+            key: (count, total) for key, (count, total) in groups.items()
+        }
+
+    def by_batch():
+        groups: dict = {}
+        values = batch.columns[2]
+        for index, key in enumerate(batch.key_tuples(positions)):
+            state = groups.get(key)
+            if state is None:
+                groups[key] = state = [0, 0.0]
+            state[0] += 1
+            value = values[index]
+            if value is not None:
+                state[1] += value
+        return {
+            key: (count, total) for key, (count, total) in groups.items()
+        }
+
+    row_seconds, row_result = _best_of(by_row)
+    batch_seconds, batch_result = _best_of(by_batch)
+    assert batch_result == row_result
+    _report_speedup(
+        report, "bench_aggregate_keys_vectorized", row_seconds, batch_seconds
+    )

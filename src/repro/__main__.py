@@ -8,7 +8,7 @@ locality/redundancy numbers.
 Options::
 
     python -m repro [--scale SF] [--nodes N] [--seed S]
-    python -m repro explain --query Q3 --analyze \
+    python -m repro explain --query Q3 --analyze --batch-size 256 \
         --backends serial,thread,process --check --json-out trace.json
 """
 
@@ -20,6 +20,7 @@ import sys
 from repro.bench import paper_cost_parameters
 from repro.cluster import SimulatedCluster
 from repro.design import QuerySpec, SchemaDrivenDesigner, WorkloadDrivenDesigner
+from repro.engine.rows import DEFAULT_BATCH_SIZE
 from repro.workloads.tpch import ALL_QUERIES, SMALL_TABLES, generate_tpch
 
 
@@ -65,6 +66,10 @@ def explain_main(argv: list[str]) -> int:
         "--nodes", type=int, default=4, help="simulated cluster size"
     )
     parser.add_argument("--seed", type=int, default=1, help="generator seed")
+    parser.add_argument(
+        "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
+        help="rows per execution batch (results are invariant to this)",
+    )
     args = parser.parse_args(argv)
 
     database = generate_tpch(scale_factor=args.scale, seed=args.seed)
@@ -74,7 +79,9 @@ def explain_main(argv: list[str]) -> int:
     build = ALL_QUERIES[args.query]
 
     if not args.analyze:
-        cluster = SimulatedCluster.partition(database, design.config)
+        cluster = SimulatedCluster.partition(
+            database, design.config, batch_size=args.batch_size
+        )
         try:
             print(cluster.explain(build()))
         finally:
@@ -89,7 +96,8 @@ def explain_main(argv: list[str]) -> int:
     traces = {}
     for backend_name in backends:
         cluster = SimulatedCluster(
-            database, partitioned, design.config, backend=backend_name
+            database, partitioned, design.config, backend=backend_name,
+            batch_size=args.batch_size,
         )
         try:
             result = cluster.run(build(), analyze=True, query_name=args.query)

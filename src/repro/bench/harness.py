@@ -29,6 +29,7 @@ from repro.partitioning.bulk_loader import BulkLoader, BulkLoadStats
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.partitioner import partition_database
 from repro.partitioning.scheme import HashScheme, ReplicatedScheme
+from repro.engine.rows import DEFAULT_BATCH_SIZE
 from repro.query.cost import CostParameters
 from repro.query.executor import Executor
 from repro.query.plan import PlanNode
@@ -349,6 +350,8 @@ def run_workload(
     optimizations: bool = True,
     backend=None,
     analyze: bool = True,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    prepared: Sequence[PartitionedDatabase] | None = None,
 ) -> dict[str, QueryRun]:
     """Execute *queries* under *variant*, returning simulated runtimes.
 
@@ -357,15 +360,27 @@ def run_workload(
     instance or a name from :data:`~repro.engine.backends.BACKENDS`
     (default: serial execution).  With *analyze* (the default) every run
     carries its query trace, so fig* results come with per-operator
-    measured locality and skew attached.
+    measured locality and skew attached.  *batch_size* is the engine's
+    kernel granularity knob (results are invariant in it).  *prepared*
+    short-circuits materialisation with an already-materialised variant
+    (from :func:`materialize_variant`) so callers can separate loading
+    from query execution, e.g. when timing the engine.
     """
     from repro.engine.backends import make_backend
 
     cost = cost or CostParameters()
     backend = make_backend(backend)
-    partitioned = materialize_variant(database, variant)
+    partitioned = (
+        prepared if prepared is not None else materialize_variant(database, variant)
+    )
     executors = [
-        Executor(dp, optimizations=optimizations, backend=backend, cost=cost)
+        Executor(
+            dp,
+            optimizations=optimizations,
+            backend=backend,
+            cost=cost,
+            batch_size=batch_size,
+        )
         for dp in partitioned
     ]
     runs: dict[str, QueryRun] = {}
@@ -411,6 +426,7 @@ def compare_backends(
     optimizations: bool = True,
     check: bool = True,
     analyze: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> dict[str, dict[str, BackendRun]]:
     """Run *queries* once per backend and compare outputs and stats.
 
@@ -423,6 +439,7 @@ def compare_backends(
 
     *backends* maps display names to backend instances/names, or is a
     sequence of names from :data:`~repro.engine.backends.BACKENDS`.
+    *batch_size* sets every executor's kernel granularity.
     Returns ``{backend name: {query name: BackendRun}}``.
     """
     from repro.engine.backends import make_backend
@@ -435,7 +452,13 @@ def compare_backends(
     for label, spec in backends.items():
         backend = make_backend(spec)
         executors = [
-            Executor(dp, optimizations=optimizations, backend=backend, cost=cost)
+            Executor(
+                dp,
+                optimizations=optimizations,
+                backend=backend,
+                cost=cost,
+                batch_size=batch_size,
+            )
             for dp in partitioned
         ]
         runs: dict[str, BackendRun] = {}

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.cluster.node import NodeReport
 from repro.engine.backends import Backend, ThreadPoolBackend, make_backend
+from repro.engine.rows import DEFAULT_BATCH_SIZE
 from repro.partitioning.bulk_loader import BulkLoader
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.partitioner import partition_database
@@ -66,6 +67,10 @@ class SimulatedCluster:
             :data:`~repro.engine.backends.BACKENDS` (``"serial"``,
             ``"thread"``, ``"process"``).  Default: a thread pool shared
             across this cluster's queries.
+        batch_size: Rows per expression-kernel invocation in the
+            pipeline operators (default
+            :data:`~repro.engine.rows.DEFAULT_BATCH_SIZE`); a pure
+            granularity knob — results are invariant in it.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class SimulatedCluster:
         optimizations: bool = True,
         locality: bool = True,
         backend: Backend | str | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.database = database
         self.partitioned = partitioned
@@ -89,6 +95,7 @@ class SimulatedCluster:
             locality=locality,
             backend=self.backend,
             cost=self.cost,
+            batch_size=batch_size,
         )
         self.loader = BulkLoader(partitioned, config)
 
@@ -101,6 +108,7 @@ class SimulatedCluster:
         optimizations: bool = True,
         locality: bool = True,
         backend: Backend | str | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> "SimulatedCluster":
         """Partition *database* under *config* and wrap it in a cluster."""
         partitioned = partition_database(database, config)
@@ -112,6 +120,7 @@ class SimulatedCluster:
             optimizations,
             locality=locality,
             backend=backend,
+            batch_size=batch_size,
         )
 
     @property

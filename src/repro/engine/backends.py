@@ -130,7 +130,7 @@ def read_slot(ops: dict[int, PhysicalOperator], slot: Slot) -> object:
     """Fetch the current value of *slot* from the operator tree."""
     op = ops[slot.op_id]
     if slot.kind == "part":
-        return op.partition_rows(slot.index)
+        return op.partition_batch(slot.index)
     if slot.kind == "prep":
         return op.prepare_state(slot.index)
     return op.exchange_state()
@@ -142,7 +142,7 @@ def write_slot(
     """Install *value* into *slot* of the operator tree."""
     op = ops[slot.op_id]
     if slot.kind == "part":
-        op.store(slot.index, value)
+        op.store_batch(slot.index, value)
     elif slot.kind == "prep":
         op.set_prepare_state(slot.index, value)
     else:
@@ -235,7 +235,8 @@ def build_task_graph(root: PhysicalOperator) -> list[EngineTask]:
             ]
             for p, task in enumerate(prepares):
                 for child in op.inputs:
-                    _link(anchors[child.op_id][p if child.output_count > 1 else 0], task)
+                    slot = p if child.output_count > 1 else 0
+                    _link(anchors[child.op_id][slot], task)
             exchange = add(
                 op, "exchange", 0,
                 Slot("exch", op.op_id, 0),
@@ -271,7 +272,8 @@ def build_task_graph(root: PhysicalOperator) -> list[EngineTask]:
                     [child_slot(child, p) for child in op.inputs],
                 )
                 for child in op.inputs:
-                    _link(anchors[child.op_id][p if child.output_count > 1 else 0], task)
+                    slot = p if child.output_count > 1 else 0
+                    _link(anchors[child.op_id][slot], task)
                 outs.append(task)
             anchors[op.op_id] = outs
     return tasks

@@ -32,6 +32,7 @@ from repro.query.plan import (
 )
 from repro.query.relation import Method, PartInfo, has_column
 from repro.query.rewrite import Annotated
+from repro.engine.rows import DEFAULT_BATCH_SIZE
 from repro.engine.operators import (
     PhysicalAggregate,
     PhysicalDedup,
@@ -49,10 +50,16 @@ from repro.storage.partitioned import PartitionedDatabase
 
 
 def compile_plan(
-    annotated: Annotated, partitioned: PartitionedDatabase
+    annotated: Annotated,
+    partitioned: PartitionedDatabase,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> PhysicalOperator:
     """Lower *annotated* into a physical operator tree, rooted at the
-    implicit gather that lands the result on the coordinator."""
+    implicit gather that lands the result on the coordinator.
+
+    *batch_size* sets how many rows the pipeline operators feed their
+    expression kernels per invocation; results are invariant in it.
+    """
     compiler = _Compiler(partitioned)
     root = compiler.lower(annotated)
     if annotated.props.governing:
@@ -74,6 +81,7 @@ def compile_plan(
     root = PhysicalGather(replace(annotated, props=gather_props), root)
     for op_id, op in enumerate(root.walk()):
         op.op_id = op_id
+        op.batch_size = batch_size
     return root
 
 
@@ -122,14 +130,14 @@ class _Compiler:
     def _filter(self, annotated: Annotated) -> PhysicalOperator:
         node: Filter = annotated.node
         child = self.lower(annotated.inputs[0])
-        predicate = node.condition.bind(child.props.columns)
+        predicate = node.condition.bind_batch(child.props.columns)
         indexed = isinstance(annotated.inputs[0].node, Scan)
         return PhysicalFilter(annotated, child, predicate, indexed)
 
     def _project(self, annotated: Annotated) -> PhysicalOperator:
         node: Project = annotated.node
         child = self.lower(annotated.inputs[0])
-        fns = [expr.bind(child.props.columns) for _name, expr in node.outputs]
+        fns = [expr.bind_batch(child.props.columns) for _name, expr in node.outputs]
         local_distinct = annotated.extra.get("distinct") == "local"
         return PhysicalProject(annotated, child, fns, local_distinct)
 

@@ -18,18 +18,37 @@ operator through up to three phases:
    run them concurrently; for barrier operators it finishes per-partition
    post-exchange work (e.g. local DISTINCT after a shuffle).
 
-The row-level logic and every accounting call is a faithful port of the
-old monolithic interpreter, so any backend that respects the phase order
-reproduces its results and :class:`~repro.query.cost.ExecutionStats`
-exactly.
+Data moves between operators as :class:`~repro.engine.rows.ColumnBatch`
+payloads — one batch per output partition — and the hot loops run as
+columnar kernels (masks, gathers, zipped key building) instead of
+per-row tuple code.  Pipeline operators evaluate their expression
+kernels in chunks of ``batch_size`` rows.  The accounting is
+aggregate-identical to the row-at-a-time engine this replaced: the same
+counters reach the same totals (per-row counter bumps are summed into
+one call), histogram-backed calls like ``add_output`` keep exactly one
+call per task, and float aggregation still accumulates in source row
+order — so canonical traces and :class:`~repro.query.cost.ExecutionStats`
+are unchanged.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
+from itertools import compress
 from typing import Callable, Sequence
 
 from repro.engine.context import ExecutionContext
-from repro.engine.rows import Row, _null_free_key, _null_pad, _sort_key
+from repro.engine.rows import (
+    DEFAULT_BATCH_SIZE,
+    ColumnBatch,
+    Row,
+    _null_free_key,
+    _null_pad,
+    _sort_key,
+    all_false_mask,
+    distinct_batch,
+    pad_take,
+)
 from repro.partitioning.scheme import stable_hash
 from repro.query.aggregates import make_accumulator
 from repro.query.plan import Aggregate, Join, JoinKind, OrderBy, Repartition
@@ -40,6 +59,9 @@ from repro.query.relation import (
 )
 from repro.query.rewrite import Annotated
 from repro.storage.partitioned import PartitionedTable
+
+#: A compiled batch kernel (see ``Expression.bind_batch``).
+BatchFn = Callable[[ColumnBatch], list]
 
 
 class PhysicalOperator:
@@ -64,7 +86,9 @@ class PhysicalOperator:
         self.inputs = list(inputs)
         self.output_count = output_count
         self.op_id = -1  # assigned in post-order by the compiler
-        self._partitions: list[list[Row] | None] = [None] * output_count
+        self.width = len(self.props.columns)
+        self.batch_size = DEFAULT_BATCH_SIZE  # overridden by the compiler
+        self._partitions: list[ColumnBatch | None] = [None] * output_count
 
     # -- identity ----------------------------------------------------------
 
@@ -86,23 +110,37 @@ class PhysicalOperator:
         """True if the output holds one logical copy (repl/gathered)."""
         return self.props.part.method in (Method.REPLICATED, Method.GATHERED)
 
-    def partition_rows(self, p: int) -> list[Row]:
+    def partition_batch(self, p: int) -> ColumnBatch:
         """Output partition *p* (must have been produced already)."""
-        rows = self._partitions[p]
-        assert rows is not None, f"partition {p} of {self.label} not ready"
-        return rows
+        batch = self._partitions[p]
+        assert batch is not None, f"partition {p} of {self.label} not ready"
+        return batch
+
+    def partition_rows(self, p: int) -> list[Row]:
+        """Output partition *p* as row tuples (compat view)."""
+        return self.partition_batch(p).to_rows()
+
+    def node_batch(self, node: int) -> ColumnBatch:
+        """The batch node *node* works on (single copies live in slot 0)."""
+        return self.partition_batch(0 if self.output_count == 1 else node)
 
     def node_rows(self, node: int) -> list[Row]:
-        """The rows node *node* works on (single copies live in slot 0)."""
-        return self.partition_rows(0 if self.output_count == 1 else node)
+        """The rows node *node* works on (compat view)."""
+        return self.node_batch(node).to_rows()
+
+    def store_batch(self, p: int, batch: ColumnBatch) -> None:
+        """Publish output partition *p*."""
+        self._partitions[p] = batch
 
     def store(self, p: int, rows: list[Row]) -> None:
-        """Publish output partition *p*."""
-        self._partitions[p] = rows
+        """Publish output partition *p* from row tuples (compat)."""
+        self._partitions[p] = ColumnBatch.from_rows(rows, self.width)
 
     def total_rows(self) -> int:
         """Row count over all produced partitions."""
-        return sum(len(rows) for rows in self._partitions if rows is not None)
+        return sum(
+            batch.length for batch in self._partitions if batch is not None
+        )
 
     def relation(self) -> DistributedRelation:
         """The completed output as a :class:`DistributedRelation`."""
@@ -129,8 +167,8 @@ class PhysicalOperator:
     # Backends that run tasks outside the coordinator process (process
     # pools today, remote transports tomorrow) move task state through
     # explicit picklable payloads: output partitions via
-    # ``partition_rows``/``store``, and the two operator-internal slots
-    # below.  Operators that never leave the coordinator keep the
+    # ``partition_batch``/``store_batch``, and the two operator-internal
+    # slots below.  Operators that never leave the coordinator keep the
     # defaults.
 
     #: True if ``run_partition`` reads the inputs' output partitions
@@ -144,7 +182,7 @@ class PhysicalOperator:
 
         Exchanges are coordinator work by design — they are where row
         buckets cross task boundaries.  Prepare tasks and pipeline
-        partition tasks are independent per-partition row loops and
+        partition tasks are independent per-partition batch kernels and
         ship well.
         """
         if phase == "exchange":
@@ -212,30 +250,39 @@ class PhysicalScan(PhysicalOperator):
     def label(self) -> str:
         return f"scan({self.table.schema.name})"
 
+    def _materialize(self, partition, width: int) -> ColumnBatch:
+        """The partition's cached columnar form as a batch (aliased)."""
+        if not partition.rows:
+            return ColumnBatch.empty(width)
+        # Copy the outer list only: the column lists themselves alias the
+        # partition's cache (read-only by the engine's convention).
+        return ColumnBatch(list(partition.columnar()), len(partition.rows))
+
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         if self.replicated:
-            rows = list(self.table.partitions[0].rows)
-            ctx.add_output(self, len(rows), 0)
-            self.store(0, rows)
+            batch = self._materialize(self.table.partitions[0], self.width)
+            ctx.add_output(self, batch.length, 0)
+            self.store_batch(0, batch)
             return
         partition = self.table.partitions[p]
         if self.allowed is not None and partition.partition_id not in self.allowed:
-            self.store(p, [])
+            self.store_batch(p, ColumnBatch.empty(self.width))
             return
         ctx.add_partition_scanned(self)
         if self.attach_bitmaps:
-            rows = [
-                row + (int(partition.dup[i]), int(partition.has_partner[i]))
-                for i, row in enumerate(partition.rows)
-            ]
+            base = self._materialize(partition, self.width - 2)
+            dup_list, partner_list = partition.bitmap_lists()
+            batch = ColumnBatch(
+                base.columns + [dup_list, partner_list], base.length
+            )
         else:
-            rows = list(partition.rows)
-        ctx.add_output(self, len(rows), p)
-        self.store(p, rows)
+            batch = self._materialize(partition, self.width)
+        ctx.add_output(self, batch.length, p)
+        self.store_batch(p, batch)
 
 
 class PhysicalFilter(PhysicalOperator):
-    """Row filter.  Directly over a base-table scan it is served by an
+    """Batch filter.  Directly over a base-table scan it is served by an
     index: only the qualifying rows are charged."""
 
     name = "filter"
@@ -244,7 +291,7 @@ class PhysicalFilter(PhysicalOperator):
         self,
         annotated: Annotated,
         child: PhysicalOperator,
-        predicate: Callable[[Row], object],
+        predicate: BatchFn,
         indexed: bool,
     ) -> None:
         super().__init__(annotated, [child], child.output_count)
@@ -253,15 +300,22 @@ class PhysicalFilter(PhysicalOperator):
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
+        batch = child.partition_batch(p)
         predicate = self.predicate
-        kept = [row for row in rows if predicate(row)]
+        # Unknown (None) is falsy, so compress rejects it for free.
+        out = ColumnBatch.concat(
+            [
+                chunk.compress(predicate(chunk))
+                for chunk in batch.chunks(self.batch_size)
+            ],
+            self.width,
+        )
         ctx.account(
             self, child.props.part.method, p,
-            len(kept) if self.indexed else len(rows),
+            out.length if self.indexed else batch.length,
         )
-        ctx.add_output(self, len(kept), p)
-        self.store(p, kept)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
 
 class PhysicalProject(PhysicalOperator):
@@ -273,7 +327,7 @@ class PhysicalProject(PhysicalOperator):
         self,
         annotated: Annotated,
         child: PhysicalOperator,
-        fns: Sequence[Callable[[Row], object]],
+        fns: Sequence[BatchFn],
         local_distinct: bool,
     ) -> None:
         super().__init__(annotated, [child], child.output_count)
@@ -282,13 +336,20 @@ class PhysicalProject(PhysicalOperator):
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
-        projected = [tuple(fn(row) for fn in self.fns) for row in rows]
+        batch = child.partition_batch(p)
+        fns = self.fns
+        out = ColumnBatch.concat(
+            [
+                ColumnBatch([fn(chunk) for fn in fns], chunk.length)
+                for chunk in batch.chunks(self.batch_size)
+            ],
+            self.width,
+        )
         if self.local_distinct:
-            projected = list(dict.fromkeys(projected))
-        ctx.account(self, child.props.part.method, p, len(rows))
-        ctx.add_output(self, len(projected), p)
-        self.store(p, projected)
+            out = distinct_batch(out)
+        ctx.account(self, child.props.part.method, p, batch.length)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
 
 class PhysicalDedup(PhysicalOperator):
@@ -315,16 +376,18 @@ class PhysicalDedup(PhysicalOperator):
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
-        positions = self.positions
-        kept = [row for row in rows if all(not row[q] for q in positions)]
+        batch = child.partition_batch(p)
+        keep = all_false_mask(
+            [batch.columns[q] for q in self.positions], batch.length
+        )
+        out = batch.compress(keep)
         ctx.account(
             self, child.props.part.method, p,
-            len(kept) if self.indexed else len(rows),
+            out.length if self.indexed else batch.length,
         )
-        ctx.add_dup_eliminated(self, len(rows) - len(kept))
-        ctx.add_output(self, len(kept), p)
-        self.store(p, kept)
+        ctx.add_dup_eliminated(self, batch.length - out.length)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
 
 class PhysicalPartnerFilter(PhysicalOperator):
@@ -347,15 +410,16 @@ class PhysicalPartnerFilter(PhysicalOperator):
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
-        position, expect = self.position, self.expect
-        kept = [row for row in rows if row[position] == expect]
+        batch = child.partition_batch(p)
+        expect = self.expect
+        keep = [value == expect for value in batch.columns[self.position]]
+        out = batch.compress(keep)
         ctx.account(
             self, child.props.part.method, p,
-            len(kept) if self.indexed else len(rows),
+            out.length if self.indexed else batch.length,
         )
-        ctx.add_output(self, len(kept), p)
-        self.store(p, kept)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
 
 # --------------------------------------------------------------------------
@@ -365,9 +429,9 @@ class PhysicalPartnerFilter(PhysicalOperator):
 
 class PhysicalRepartition(PhysicalOperator):
     """Hash shuffle.  ``prepare_partition`` routes one source partition
-    into per-target buckets (independent per source, so backends run the
-    routing concurrently); ``exchange`` concatenates the buckets in
-    source order, preserving the serial interpreter's row order."""
+    into per-target bucket batches (independent per source, so backends
+    run the routing concurrently); ``exchange`` concatenates the buckets
+    in source order, preserving the serial interpreter's row order."""
 
     barrier = True
     name = "repartition"
@@ -387,66 +451,61 @@ class PhysicalRepartition(PhysicalOperator):
         self.local_distinct = annotated.extra.get("distinct") == "local"
         self.child_method = child.props.part.method
         self.prepare_count = child.output_count
-        self._buckets: list[list[list[Row]] | None] = [None] * self.prepare_count
-        self._staged: list[list[Row]] = []
-
-    def _key_of(self, row: Row):
-        positions = self.key_positions
-        if len(positions) == 1:
-            return row[positions[0]]
-        return tuple(row[p] for p in positions)
+        self._buckets: list[list[ColumnBatch] | None] = [None] * self.prepare_count
+        self._staged: list[ColumnBatch] = []
 
     def prepare_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
-        governing = self.governing
+        batch = child.partition_batch(p)
         count = self.output_count
-        targets: list[list[Row]] = [[] for _ in range(count)]
-        skipped = 0
+        if self.governing:
+            keep = all_false_mask(
+                [batch.columns[q] for q in self.governing], batch.length
+            )
+            routed = batch.compress(keep)
+        else:
+            routed = batch
+        skipped = batch.length - routed.length
+        targets = [
+            stable_hash(key) % count
+            for key in routed.key_values(self.key_positions)
+        ]
+        bucket_indices: list[list[int]] = [[] for _ in range(count)]
+        for index, target in enumerate(targets):
+            bucket_indices[target].append(index)
         if self.child_method is Method.REPLICATED:
             # Every node already holds the full content; each just keeps
             # its own hash range — no network traffic.
-            for row in rows:
-                if governing and any(row[q] for q in governing):
-                    skipped += 1
-                    continue
-                targets[stable_hash(self._key_of(row)) % count].append(row)
             for index in range(count):
-                ctx.add_work(self, index, len(rows))
+                ctx.add_work(self, index, batch.length)
         else:
             # Gathered inputs live on the coordinator: source index 0.
-            source = p
-            ctx.account(self, self.child_method, source, len(rows))
-            row_bytes = self.row_bytes
-            for row in rows:
-                if governing and any(row[q] for q in governing):
-                    skipped += 1
-                    continue
-                target = stable_hash(self._key_of(row)) % count
-                targets[target].append(row)
-                if target != source:
-                    ctx.add_network(self, row_bytes, 1)
+            ctx.account(self, self.child_method, p, batch.length)
+            local = len(bucket_indices[p]) if p < count else 0
+            moved = routed.length - local
+            if moved:
+                ctx.add_network(self, self.row_bytes * moved, moved)
         ctx.add_dup_eliminated(self, skipped)
-        self._buckets[p] = targets
+        self._buckets[p] = [routed.take(indices) for indices in bucket_indices]
 
     def exchange(self, ctx: ExecutionContext) -> None:
         ctx.add_shuffle(self)
         self._staged = []
         for target in range(self.output_count):
-            merged: list[Row] = []
+            pieces = []
             for buckets in self._buckets:
                 assert buckets is not None
-                merged.extend(buckets[target])
-            self._staged.append(merged)
+                pieces.append(buckets[target])
+            self._staged.append(ColumnBatch.concat(pieces, self.width))
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
-        rows = self._staged[p]
+        batch = self._staged[p]
         if self.local_distinct:
-            deduped = list(dict.fromkeys(rows))
-            ctx.add_dup_eliminated(self, len(rows) - len(deduped))
-            rows = deduped
-        ctx.add_output(self, len(rows), p)
-        self.store(p, rows)
+            deduped = distinct_batch(batch)
+            ctx.add_dup_eliminated(self, batch.length - deduped.length)
+            batch = deduped
+        ctx.add_output(self, batch.length, p)
+        self.store_batch(p, batch)
 
     partition_reads_inputs = False
 
@@ -471,6 +530,13 @@ class PhysicalHashJoin(PhysicalOperator):
     * ``both_replicated`` — both inputs are full copies; join once;
     * ``broadcast`` — ship the smaller input to every node in the
       exchange, then probe per node concurrently.
+
+    The keyed join is fully columnar: build and probe keys come from one
+    ``zip`` over the key columns, match pairs accumulate as index lists,
+    and the output is a gather over both inputs — with ``-1`` marking
+    LEFT OUTER pad rows.  Output order is the row engine's contract:
+    left-row order, matches in right-insertion order, the pad emitted
+    when no match survives the residual.
     """
 
     name = "join"
@@ -496,6 +562,11 @@ class PhysicalHashJoin(PhysicalOperator):
         self.residual = (
             node.residual.bind(combined) if node.residual is not None else None
         )
+        self.residual_batch = (
+            node.residual.bind_batch(combined)
+            if node.residual is not None
+            else None
+        )
         if node.on:
             self.left_positions = [left.props.position(l) for l, _ in node.on]
             self.right_positions = [right.props.position(r) for _, r in node.on]
@@ -505,78 +576,308 @@ class PhysicalHashJoin(PhysicalOperator):
             _null_pad(right.props) if node.kind is JoinKind.LEFT_OUTER else None
         )
         # Broadcast state, filled by exchange().
-        self._shipped_rows: list[Row] = []
+        self._shipped = ColumnBatch.empty(0)
         self._ship_left = False
         self._single_done = False
+        # Build-side caches, keyed by batch identity: broadcast probes
+        # join every node's rows against the *same* shipped build batch,
+        # so the hash table (or partner key set) is built once per query
+        # instead of once per node.  Racing tasks may rebuild it
+        # redundantly but always identically.
+        self._table_cache: tuple[ColumnBatch, dict, bool] | None = None
+        self._keyset_cache: tuple[ColumnBatch, set] | None = None
+        # Set once a build side turns out to have duplicate keys; later
+        # partitions of the same join then skip the optimistic
+        # unique-build attempt (pure work avoidance, no semantic change).
+        self._dup_build = False
 
     @property
     def label(self) -> str:
         return f"join[{self.strategy}]"
 
-    # -- row-level join (port of the interpreter's _join_rows) -------------
+    # -- batch-level join --------------------------------------------------
 
-    def _join_rows(self, left_rows: list[Row], right_rows: list[Row]) -> list[Row]:
+    def _join_batches(
+        self, left_batch: ColumnBatch, right_batch: ColumnBatch
+    ) -> ColumnBatch:
         node = self.node
-        residual = self.residual
         if not node.on:
-            return self._nested_loop(left_rows, right_rows)
-        left_positions = self.left_positions
-        right_positions = self.right_positions
-
-        def left_key(row: Row):
-            return tuple(row[p] for p in left_positions)
-
-        def right_key(row: Row):
-            return tuple(row[p] for p in right_positions)
-
+            rows = self._nested_loop(
+                left_batch.to_rows(), right_batch.to_rows()
+            )
+            return ColumnBatch.from_rows(rows, self.width)
+        left_keys = left_batch.key_values(self.left_positions)
+        right_keys = right_batch.key_values(self.right_positions)
         if node.kind in (JoinKind.SEMI, JoinKind.ANTI):
-            expect = node.kind is JoinKind.SEMI
-            if residual is None:
-                keys = {
-                    key
-                    for row in right_rows
-                    if _null_free_key(key := right_key(row))
-                }
-                return [
-                    row
-                    for row in left_rows
-                    if (_null_free_key(key := left_key(row)) and key in keys)
-                    == expect
-                ]
-            # A residual restricts which key matches count as partners:
-            # a left row matches only if some key-equal right row also
-            # satisfies the residual on the combined row.
-            partners: dict[tuple, list[Row]] = {}
-            for row in right_rows:
-                if _null_free_key(key := right_key(row)):
-                    partners.setdefault(key, []).append(row)
-            return [
-                row
-                for row in left_rows
-                if any(
-                    residual(row + other)
-                    for other in partners.get(left_key(row), ())
-                )
-                == expect
-            ]
+            return self._semi_anti(
+                left_batch, left_keys, right_batch, right_keys
+            )
+        return self._equi_join(left_batch, left_keys, right_batch, right_keys)
 
-        table: dict[tuple, list[Row]] = {}
-        for row in right_rows:
-            if _null_free_key(key := right_key(row)):
-                table.setdefault(key, []).append(row)
-        out: list[Row] = []
+    def _build_table(
+        self, right_batch: ColumnBatch, right_keys: list
+    ) -> tuple[dict, bool]:
+        """(key -> right row index/indices, build-side-unique).
+
+        Single-column joins key on the bare value (no tuple building);
+        multi-column joins key on tuples.  NULL-bearing keys never match
+        (SQL equality), so they never enter the table.
+
+        The build is optimistic: ``dict(zip(keys, range(n)))`` runs at C
+        speed and, when no key repeats (the common FK -> PK case), is the
+        finished table — values are bare int indices and the second
+        element is True.  Only a build side with duplicate keys falls
+        back to the Python loop that accumulates index lists in
+        insertion order (values are lists, second element False).
+        """
+        n = len(right_keys)
+        if len(self.right_positions) == 1:
+            nulls = right_keys.count(None)
+            if not self._dup_build:
+                table = dict(zip(right_keys, range(n)))
+                if nulls:
+                    del table[None]
+                if len(table) == n - nulls:
+                    return table, True
+                self._dup_build = True
+            table = defaultdict(list)
+            if nulls:
+                for index, key in enumerate(right_keys):
+                    if key is not None:
+                        table[key].append(index)
+            else:
+                for index, key in enumerate(right_keys):
+                    table[key].append(index)
+            return table, False
+        has_nulls = any(
+            right_batch.has_nulls(p) for p in self.right_positions
+        )
+        if not has_nulls and not self._dup_build:
+            table = dict(zip(right_keys, range(n)))
+            if len(table) == n:
+                return table, True
+            self._dup_build = True
+        table = defaultdict(list)
+        for index, key in enumerate(right_keys):
+            if has_nulls and not _null_free_key(key):
+                continue
+            table[key].append(index)
+        return table, False
+
+    def _cached_table(
+        self, right_batch: ColumnBatch, right_keys: list
+    ) -> tuple[dict, bool]:
+        cached = self._table_cache
+        if cached is not None and cached[0] is right_batch:
+            return cached[1], cached[2]
+        table, unique = self._build_table(right_batch, right_keys)
+        self._table_cache = (right_batch, table, unique)
+        return table, unique
+
+    def _combined(
+        self,
+        left_batch: ColumnBatch,
+        left_idx: list[int],
+        right_batch: ColumnBatch,
+        right_idx: list[int],
+    ) -> ColumnBatch:
+        """Candidate pairs as one wide batch for residual evaluation."""
+        return ColumnBatch(
+            left_batch.take(left_idx).columns
+            + right_batch.take(right_idx).columns,
+            len(left_idx),
+        )
+
+    def _emit(
+        self,
+        left_batch: ColumnBatch,
+        left_idx: list[int],
+        right_batch: ColumnBatch,
+        right_idx: list[int],
+    ) -> ColumnBatch:
+        """Gather the output batch; ``-1`` in *right_idx* is the pad."""
+        columns = left_batch.take(left_idx).columns
         pad = self.pad
-        for row in left_rows:
-            matches = table.get(left_key(row), ())
+        if pad is None:
+            columns += right_batch.take(right_idx).columns
+        else:
+            columns += [
+                pad_take(column, right_idx, pad[index])
+                for index, column in enumerate(right_batch.columns)
+            ]
+        return ColumnBatch(columns, len(left_idx))
+
+    def _emit_aligned(
+        self,
+        left_out: ColumnBatch,
+        right_batch: ColumnBatch,
+        right_idx: list[int],
+    ) -> ColumnBatch:
+        """Output when the left side is already aligned row-for-row with
+        *right_idx* (unique-build joins): left columns pass through with
+        no gather at all."""
+        pad = self.pad
+        if pad is None:
+            columns = left_out.columns + right_batch.take(right_idx).columns
+        else:
+            columns = left_out.columns + [
+                pad_take(column, right_idx, pad[index])
+                for index, column in enumerate(right_batch.columns)
+            ]
+        return ColumnBatch(columns, len(right_idx))
+
+    def _equi_join(
+        self,
+        left_batch: ColumnBatch,
+        left_keys: list,
+        right_batch: ColumnBatch,
+        right_keys: list,
+    ) -> ColumnBatch:
+        table, unique = self._cached_table(right_batch, right_keys)
+        residual = self.residual_batch
+        pad = self.pad
+        if residual is None and unique:
+            # Unique build side (the usual FK -> PK case): every probe
+            # hit pairs with exactly one build row, so the output's left
+            # half is the probe batch itself (or a compress of it) in
+            # order, and the whole probe runs as C-level map/compress.
+            # NULL probe keys miss for free: the table holds no NULLs.
+            raw = list(map(table.get, left_keys))
+            if pad is not None:
+                right_idx = [-1 if m is None else m for m in raw]
+                return self._emit_aligned(left_batch, right_batch, right_idx)
+            mask = [m is not None for m in raw]
+            if all(mask):
+                return self._emit_aligned(left_batch, right_batch, raw)
+            return self._emit_aligned(
+                left_batch.compress(mask),
+                right_batch,
+                list(compress(raw, mask)),
+            )
+        if unique:
+            # The slow paths below fan matches out per probe row; give
+            # them the list-valued view of the unique table.
+            table = {key: (index,) for key, index in table.items()}
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        if residual is None:
+            # NULL-bearing probe keys miss for free: the table only
+            # holds NULL-free keys, and no tuple equals one of those.
+            if pad is None:
+                for i, key in enumerate(left_keys):
+                    matches = table.get(key)
+                    if matches:
+                        left_idx.extend([i] * len(matches))
+                        right_idx.extend(matches)
+            else:
+                for i, key in enumerate(left_keys):
+                    matches = table.get(key)
+                    if matches:
+                        left_idx.extend([i] * len(matches))
+                        right_idx.extend(matches)
+                    else:
+                        left_idx.append(i)
+                        right_idx.append(-1)
+            return self._emit(left_batch, left_idx, right_batch, right_idx)
+        # A residual restricts which key matches survive: evaluate it
+        # once over every candidate pair, then keep survivors in
+        # left-row order, padding rows whose matches all failed.
+        spans: list[tuple[int, int, int]] = []
+        for i, key in enumerate(left_keys):
+            matches = table.get(key)
+            if matches:
+                start = len(right_idx)
+                left_idx.extend([i] * len(matches))
+                right_idx.extend(matches)
+                spans.append((i, start, len(right_idx)))
+            elif pad is not None:
+                spans.append((i, 0, 0))
+        mask = residual(
+            self._combined(left_batch, left_idx, right_batch, right_idx)
+        )
+        final_left: list[int] = []
+        final_right: list[int] = []
+        for i, start, stop in spans:
             emitted = False
-            for match in matches:
-                combined_row = row + match
-                if residual is None or residual(combined_row):
-                    out.append(combined_row)
+            for pos in range(start, stop):
+                if mask[pos]:
+                    final_left.append(i)
+                    final_right.append(right_idx[pos])
                     emitted = True
             if pad is not None and not emitted:
-                out.append(row + pad)
-        return out
+                final_left.append(i)
+                final_right.append(-1)
+        return self._emit(left_batch, final_left, right_batch, final_right)
+
+    def _semi_anti(
+        self,
+        left_batch: ColumnBatch,
+        left_keys: list,
+        right_batch: ColumnBatch,
+        right_keys: list,
+    ) -> ColumnBatch:
+        expect = self.node.kind is JoinKind.SEMI
+        residual = self.residual_batch
+        if residual is None:
+            cached = self._keyset_cache
+            if cached is not None and cached[0] is right_batch:
+                keys = cached[1]
+            else:
+                if len(self.right_positions) == 1:
+                    keys = set(right_keys)
+                    keys.discard(None)
+                elif any(
+                    right_batch.has_nulls(p) for p in self.right_positions
+                ):
+                    keys = {key for key in right_keys if _null_free_key(key)}
+                else:
+                    keys = set(right_keys)
+                self._keyset_cache = (right_batch, keys)
+            # A NULL-bearing left key is never a partner — which keeps
+            # the row under ANTI and drops it under SEMI.  Bare (single
+            # column) keys need no NULL branch at all: None is never in
+            # *keys*, so membership alone is already the SQL test.
+            if len(self.left_positions) == 1:
+                if expect:
+                    keep = list(map(keys.__contains__, left_keys))
+                else:
+                    keep = [key not in keys for key in left_keys]
+            elif any(left_batch.has_nulls(p) for p in self.left_positions):
+                keep = [
+                    (_null_free_key(key) and key in keys) == expect
+                    for key in left_keys
+                ]
+            elif expect:
+                keep = [key in keys for key in left_keys]
+            else:
+                keep = [key not in keys for key in left_keys]
+            return left_batch.compress(keep)
+        # A residual restricts which key matches count as partners: a
+        # left row matches only if some key-equal right row also
+        # satisfies the residual on the combined row.
+        partners, unique = self._cached_table(right_batch, right_keys)
+        if unique:
+            partners = {key: (index,) for key, index in partners.items()}
+        left_idx: list[int] = []
+        right_idx: list[int] = []
+        spans: list[tuple[int, int]] = []
+        for i, key in enumerate(left_keys):
+            matches = partners.get(key)
+            if matches:
+                start = len(right_idx)
+                left_idx.extend([i] * len(matches))
+                right_idx.extend(matches)
+                spans.append((start, len(right_idx)))
+            else:
+                spans.append((0, 0))
+        mask = residual(
+            self._combined(left_batch, left_idx, right_batch, right_idx)
+        )
+        keep = [
+            any(mask[pos] for pos in range(start, stop)) == expect
+            for start, stop in spans
+        ]
+        return left_batch.compress(keep)
 
     def _nested_loop(self, left_rows: list[Row], right_rows: list[Row]) -> list[Row]:
         node = self.node
@@ -617,45 +918,47 @@ class PhysicalHashJoin(PhysicalOperator):
             ship_left = False
         else:
             ship_left = left.total_rows() <= right.total_rows()
-        shipped, kept = (left, right) if ship_left else (right, left)
-        shipped_rows = [
-            row
-            for p in range(shipped.output_count)
-            for row in shipped.partition_rows(p)
-        ]
-        if shipped.props.part.method is not Method.REPLICATED:
-            bytes_each = shipped.props.row_bytes()
+        shipped_op, kept_op = (left, right) if ship_left else (right, left)
+        shipped = ColumnBatch.concat(
+            [
+                shipped_op.partition_batch(p)
+                for p in range(shipped_op.output_count)
+            ],
+            shipped_op.width,
+        )
+        if shipped_op.props.part.method is not Method.REPLICATED:
+            bytes_each = shipped_op.props.row_bytes()
             ctx.add_network(
                 self,
-                bytes_each * len(shipped_rows) * max(self.count - 1, 1),
-                len(shipped_rows) * max(self.count - 1, 1),
+                bytes_each * shipped.length * max(self.count - 1, 1),
+                shipped.length * max(self.count - 1, 1),
             )
         self._ship_left = ship_left
-        self._shipped_rows = shipped_rows
-        if kept.is_single_copy:
+        self._shipped = shipped
+        if kept_op.is_single_copy:
             # Both inputs are now fully available on every node; computing
             # per partition would emit the result once per node.  Compute
             # once instead.
-            kept_rows = kept.partition_rows(0)
+            kept = kept_op.partition_batch(0)
             if ship_left:
-                out = self._join_rows(shipped_rows, kept_rows)
+                out = self._join_batches(shipped, kept)
             else:
-                out = self._join_rows(kept_rows, shipped_rows)
-            ctx.add_work(self, 0, len(kept_rows) + len(shipped_rows) + len(out))
+                out = self._join_batches(kept, shipped)
+            ctx.add_work(self, 0, kept.length + shipped.length + out.length)
             ctx.add_join_event(
                 self,
                 0,
-                len(kept_rows) if ship_left else len(shipped_rows),
-                len(shipped_rows) if ship_left else len(kept_rows),
+                kept.length if ship_left else shipped.length,
+                shipped.length if ship_left else kept.length,
             )
-            ctx.add_output(self, len(out), 0)
-            self.store(0, out)
+            ctx.add_output(self, out.length, 0)
+            self.store_batch(0, out)
             for index in range(1, self.output_count):
-                self.store(index, [])
+                self.store_batch(index, ColumnBatch.empty(self.width))
             self._single_done = True
 
     # -- distributed task protocol -----------------------------------------
-    # Broadcast probes are heavy row loops, so partition tasks stay
+    # Broadcast probes are heavy batch kernels, so partition tasks stay
     # remote-eligible even though the operator is a barrier; when the
     # exchange already computed the whole result (both inputs single
     # copies), the leftover partition tasks are no-ops that must stay on
@@ -668,10 +971,10 @@ class PhysicalHashJoin(PhysicalOperator):
         return not (phase == "partition" and self._single_done)
 
     def exchange_state(self) -> object:
-        return (self._ship_left, self._shipped_rows, self._single_done)
+        return (self._ship_left, self._shipped, self._single_done)
 
     def set_exchange_state(self, state: object) -> None:
-        self._ship_left, self._shipped_rows, self._single_done = state
+        self._ship_left, self._shipped, self._single_done = state
 
     # -- per-partition execution -------------------------------------------
 
@@ -681,39 +984,41 @@ class PhysicalHashJoin(PhysicalOperator):
             return
         left, right = self.inputs
         if self.single:
-            left_rows = left.partition_rows(0)
-            right_rows = right.partition_rows(0)
-            out = self._join_rows(left_rows, right_rows)
-            ctx.add_work(self, 0, len(left_rows) + len(right_rows))
-            ctx.add_join_event(self, 0, len(right_rows), len(left_rows))
-            ctx.add_output(self, len(out), 0)
-            self.store(0, out)
+            left_batch = left.partition_batch(0)
+            right_batch = right.partition_batch(0)
+            out = self._join_batches(left_batch, right_batch)
+            ctx.add_work(self, 0, left_batch.length + right_batch.length)
+            ctx.add_join_event(self, 0, right_batch.length, left_batch.length)
+            ctx.add_output(self, out.length, 0)
+            self.store_batch(0, out)
             return
-        left_rows = left.node_rows(p)
-        right_rows = right.node_rows(p)
-        out = self._join_rows(left_rows, right_rows)
-        ctx.add_work(self, p, len(left_rows) + len(right_rows) + len(out))
-        ctx.add_join_event(self, p, len(right_rows), len(left_rows))
-        ctx.add_output(self, len(out), p)
-        self.store(p, out)
+        left_batch = left.node_batch(p)
+        right_batch = right.node_batch(p)
+        out = self._join_batches(left_batch, right_batch)
+        ctx.add_work(
+            self, p, left_batch.length + right_batch.length + out.length
+        )
+        ctx.add_join_event(self, p, right_batch.length, left_batch.length)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
     def _run_broadcast_partition(self, ctx: ExecutionContext, p: int) -> None:
         if self._single_done:
             return  # staged by exchange()
         left, right = self.inputs
-        kept = right if self._ship_left else left
-        shipped_rows = self._shipped_rows
-        kept_rows = kept.node_rows(p)
+        kept_op = right if self._ship_left else left
+        shipped = self._shipped
+        kept = kept_op.node_batch(p)
         if self._ship_left:
-            out = self._join_rows(shipped_rows, kept_rows)
+            out = self._join_batches(shipped, kept)
         else:
-            out = self._join_rows(kept_rows, shipped_rows)
-        ctx.add_work(self, p, len(kept_rows) + len(shipped_rows) + len(out))
-        build_rows = len(kept_rows) if self._ship_left else len(shipped_rows)
-        probe_rows = len(shipped_rows) if self._ship_left else len(kept_rows)
+            out = self._join_batches(kept, shipped)
+        ctx.add_work(self, p, kept.length + shipped.length + out.length)
+        build_rows = kept.length if self._ship_left else shipped.length
+        probe_rows = shipped.length if self._ship_left else kept.length
         ctx.add_join_event(self, p, build_rows, probe_rows)
-        ctx.add_output(self, len(out), p)
-        self.store(p, out)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
 
 
 class PhysicalAggregate(PhysicalOperator):
@@ -723,8 +1028,10 @@ class PhysicalAggregate(PhysicalOperator):
     * ``local`` — groups are partition-local; one task per partition;
     * ``two_phase`` — per-partition partials (``prepare_partition``, run
       concurrently), then compact accumulator states ship to their hash
-      targets and merge in the exchange.  Partials merge in source order,
-      so float accumulation order matches the serial interpreter.
+      targets and merge in the exchange.  Aggregate argument expressions
+      evaluate as batch kernels, but partials accumulate in source row
+      order (and merge in source order), so float accumulation matches
+      the serial row engine bit for bit.
     """
 
     name = "aggregate"
@@ -748,8 +1055,18 @@ class PhysicalAggregate(PhysicalOperator):
         self.node = node
         self.count = cluster_count
         self.group_positions = child.props.positions(node.group_by)
+        # Single-column groups key their partial-state dicts on the bare
+        # value (no per-row 1-tuples); the output rows and the shuffle
+        # hash re-wrap/unwrap at the edges, so grouping and placement are
+        # identical to the tuple form.
+        self.single_key = len(self.group_positions) == 1
         self.agg_fns = [
-            (spec, spec.expr.bind(child.props.columns) if spec.expr else None)
+            (
+                spec,
+                spec.expr.bind_batch(child.props.columns)
+                if spec.expr
+                else None,
+            )
             for spec in node.aggregates
         ]
         self.key_bytes = 8 * max(len(node.group_by), 1)
@@ -757,42 +1074,56 @@ class PhysicalAggregate(PhysicalOperator):
             self.barrier = True
             self.prepare_count = child.output_count
         self._partials: list[dict[tuple, list] | None] = [None] * self.prepare_count
-        self._staged: list[list[Row]] = []
+        self._staged: list[ColumnBatch] = []
 
     @property
     def label(self) -> str:
         return f"aggregate[{self.strategy}]"
 
-    def _aggregate_rows(self, rows: list[Row]) -> list[Row]:
-        groups = self._partial_states(rows)
+    def _aggregate_batch(self, batch: ColumnBatch) -> ColumnBatch:
+        groups = self._partial_states(batch)
         if not groups and not self.node.group_by:
             groups[()] = [make_accumulator(spec.func) for spec, _ in self.agg_fns]
-        return [
-            key + tuple(acc.result() for acc in accs)
-            for key, accs in groups.items()
-        ]
+        if self.single_key:
+            rows = [
+                (key,) + tuple(acc.result() for acc in accs)
+                for key, accs in groups.items()
+            ]
+        else:
+            rows = [
+                key + tuple(acc.result() for acc in accs)
+                for key, accs in groups.items()
+            ]
+        return ColumnBatch.from_rows(rows, self.width)
 
-    def _partial_states(self, rows: list[Row]) -> dict[tuple, list]:
-        group_positions = self.group_positions
+    def _partial_states(self, batch: ColumnBatch) -> dict[tuple, list]:
         agg_fns = self.agg_fns
+        if self.single_key:
+            keys = batch.columns[self.group_positions[0]]
+        else:
+            keys = batch.key_tuples(self.group_positions)
+        # Kernels produce whole value columns; accumulation then walks
+        # them in row order, which float sums require for bit equality.
+        value_columns = [
+            fn(batch) if fn is not None else None for _spec, fn in agg_fns
+        ]
         groups: dict[tuple, list] = {}
-        for row in rows:
-            key = tuple(row[p] for p in group_positions)
+        for i, key in enumerate(keys):
             accs = groups.get(key)
             if accs is None:
                 accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
                 groups[key] = accs
-            for acc, (spec, fn) in zip(accs, agg_fns):
-                acc.add(fn(row) if fn is not None else 1)
+            for acc, column in zip(accs, value_columns):
+                acc.add(1 if column is None else column[i])
         return groups
 
     # -- two-phase ---------------------------------------------------------
 
     def prepare_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
-        rows = child.partition_rows(p)
-        ctx.account(self, child.props.part.method, p, len(rows))
-        self._partials[p] = self._partial_states(rows)
+        batch = child.partition_batch(p)
+        ctx.account(self, child.props.part.method, p, batch.length)
+        self._partials[p] = self._partial_states(batch)
 
     def exchange(self, ctx: ExecutionContext) -> None:
         """Ship compact states to their hash targets and merge."""
@@ -803,6 +1134,8 @@ class PhysicalAggregate(PhysicalOperator):
             {} for _ in range(1 if scalar else count)
         ]
         key_bytes = self.key_bytes
+        shipped_bytes = 0
+        shipped_count = 0
         for index in range(self.prepare_count):
             partials = self._partials[index]
             assert partials is not None
@@ -810,14 +1143,20 @@ class PhysicalAggregate(PhysicalOperator):
                 target = (
                     0
                     if scalar
-                    else stable_hash(key if len(key) > 1 else key[0]) % count
+                    else stable_hash(
+                        key
+                        if self.single_key or len(key) > 1
+                        else key[0]
+                    )
+                    % count
                 )
                 if target != index:
-                    ctx.add_network(
-                        self,
-                        key_bytes + sum(acc.state_bytes() for acc in accs),
-                        1,
+                    # Plain counters: per-state transfers sum into one
+                    # accounting call without changing any total.
+                    shipped_bytes += key_bytes + sum(
+                        acc.state_bytes() for acc in accs
                     )
+                    shipped_count += 1
                 bucket = merged[0 if scalar else target]
                 existing = bucket.get(key)
                 if existing is None:
@@ -825,41 +1164,48 @@ class PhysicalAggregate(PhysicalOperator):
                 else:
                     for acc, other in zip(existing, accs):
                         acc.merge_state(other.state())
+        if shipped_count:
+            ctx.add_network(self, shipped_bytes, shipped_count)
         self._staged = []
         for bucket in merged:
             if scalar and not bucket:
                 bucket[()] = [
                     make_accumulator(spec.func) for spec, _ in self.agg_fns
                 ]
-            self._staged.append(
-                [
+            if self.single_key:
+                rows = [
+                    (key,) + tuple(acc.result() for acc in accs)
+                    for key, accs in bucket.items()
+                ]
+            else:
+                rows = [
                     key + tuple(acc.result() for acc in accs)
                     for key, accs in bucket.items()
                 ]
-            )
+            self._staged.append(ColumnBatch.from_rows(rows, self.width))
 
     # -- execution ---------------------------------------------------------
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
         child = self.inputs[0]
         if self.strategy == "single":
-            rows = child.partition_rows(0)
-            ctx.add_work(self, 0, len(rows))
-            out = self._aggregate_rows(rows)
-            ctx.add_output(self, len(out), 0)
-            self.store(0, out)
+            batch = child.partition_batch(0)
+            ctx.add_work(self, 0, batch.length)
+            out = self._aggregate_batch(batch)
+            ctx.add_output(self, out.length, 0)
+            self.store_batch(0, out)
             return
         if self.strategy == "local":
-            rows = child.partition_rows(p)
-            out = self._aggregate_rows(rows)
-            ctx.add_work(self, p, len(rows) + len(out))
-            ctx.add_output(self, len(out), p)
-            self.store(p, out)
+            batch = child.partition_batch(p)
+            out = self._aggregate_batch(batch)
+            ctx.add_work(self, p, batch.length + out.length)
+            ctx.add_output(self, out.length, p)
+            self.store_batch(p, out)
             return
-        rows = self._staged[p]
-        ctx.add_work(self, 0 if self.scalar else p, len(rows))
-        ctx.add_output(self, len(rows), p)
-        self.store(p, rows)
+        staged = self._staged[p]
+        ctx.add_work(self, 0 if self.scalar else p, staged.length)
+        ctx.add_output(self, staged.length, p)
+        self.store_batch(p, staged)
 
     # -- distributed task protocol -----------------------------------------
     # Only consulted for the two_phase (barrier) strategy, whose
@@ -882,7 +1228,12 @@ class PhysicalAggregate(PhysicalOperator):
 
 
 class PhysicalOrderBy(PhysicalOperator):
-    """Gather every partition on the coordinator, sort, apply the limit."""
+    """Gather every partition on the coordinator, sort, apply the limit.
+
+    Sorting happens on row tuples: a coordinator-side, once-per-query
+    path where Python's stable ``sort`` over materialised rows beats
+    columnar reordering.
+    """
 
     barrier = True
     name = "order_by"
@@ -895,10 +1246,10 @@ class PhysicalOrderBy(PhysicalOperator):
             for column, ascending in node.keys
         ]
         self.limit = node.limit
-        self._staged: list[Row] = []
+        self._staged = ColumnBatch.empty(self.width)
 
     def exchange(self, ctx: ExecutionContext) -> None:
-        rows = _gather(self.inputs[0], self, ctx)
+        rows = _gather(self.inputs[0], self, ctx).to_rows()
         for position, ascending in reversed(self.sort_positions):
             rows.sort(
                 key=lambda row: _sort_key(row[position]), reverse=not ascending
@@ -906,11 +1257,11 @@ class PhysicalOrderBy(PhysicalOperator):
         if self.limit is not None:
             rows = rows[: self.limit]
         ctx.add_work(self, 0, len(rows))
-        self._staged = rows
+        self._staged = ColumnBatch.from_rows(rows, self.width)
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
-        ctx.add_output(self, len(self._staged), 0)
-        self.store(0, self._staged)
+        ctx.add_output(self, self._staged.length, 0)
+        self.store_batch(0, self._staged)
 
     partition_reads_inputs = False
 
@@ -929,14 +1280,14 @@ class PhysicalGather(PhysicalOperator):
 
     def __init__(self, annotated: Annotated, child: PhysicalOperator) -> None:
         super().__init__(annotated, [child], 1)
-        self._staged: list[Row] = []
+        self._staged = ColumnBatch.empty(self.width)
 
     def exchange(self, ctx: ExecutionContext) -> None:
         self._staged = _gather(self.inputs[0], self, ctx)
 
     def run_partition(self, ctx: ExecutionContext, p: int) -> None:
-        ctx.add_output(self, len(self._staged), 0)
-        self.store(0, self._staged)
+        ctx.add_output(self, self._staged.length, 0)
+        self.store_batch(0, self._staged)
 
     partition_reads_inputs = False
 
@@ -949,15 +1300,17 @@ class PhysicalGather(PhysicalOperator):
 
 def _gather(
     child: PhysicalOperator, op: PhysicalOperator, ctx: ExecutionContext
-) -> list[Row]:
+) -> ColumnBatch:
     """Move every partition of *child* to the coordinator, metering it."""
     if child.is_single_copy:
-        return list(child.partition_rows(0))
+        return child.partition_batch(0)
     row_bytes = child.props.row_bytes()
-    rows: list[Row] = []
+    batches = []
     for index in range(child.output_count):
-        partition = child.partition_rows(index)
-        rows.extend(partition)
-        if index != 0 and partition:
-            ctx.add_network(op, row_bytes * len(partition), len(partition))
-    return rows
+        partition = child.partition_batch(index)
+        batches.append(partition)
+        if index != 0 and partition.length:
+            ctx.add_network(
+                op, row_bytes * partition.length, partition.length
+            )
+    return ColumnBatch.concat(batches, child.width)

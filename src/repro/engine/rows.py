@@ -1,29 +1,57 @@
-"""Row-level helpers shared by the physical operators and both executors.
+"""Row- and batch-level containers shared by the operators and executors.
 
 Kept free of module-level ``repro.query`` imports so it can be imported
 from any point of the engine/query import graph without re-entering a
 package initialiser mid-import.
+
+The execution engine moves data between physical operators as
+:class:`ColumnBatch` payloads — a column-oriented container whose columns
+are plain Python lists with a (lazily materialised) validity bitmap per
+column.  SQL NULL is ``None`` in the value list *and* a cleared validity
+bit; the two views are kept consistent by construction, which is what
+lets kernels pick a no-NULL fast path from the bitmap without scanning.
+The row-oriented helpers (``_sort_key`` and friends) remain for the
+coordinator-side paths (sorting, the single-node oracle) that genuinely
+work tuple by tuple.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from itertools import compress
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 if TYPE_CHECKING:
     from repro.query.relation import RelProps
 
 Row = tuple
 
+#: Default number of rows processed per kernel invocation by the pipeline
+#: operators.  Overridable per executor/cluster and via the CLI/bench
+#: ``--batch-size`` knob; results are invariant in it by contract.
+DEFAULT_BATCH_SIZE = 1024
+
 
 def _sort_key(value: object) -> tuple:
-    """Total ordering across None and mixed values (NULLs sort first)."""
+    """Total ordering across None and arbitrary mixed values.
+
+    NULLs sort first, then booleans/numbers (NaN deterministically after
+    every ordered number), then strings, then everything else grouped by
+    type name.  Ranking by type keeps the comparison total even when one
+    column mixes ints and strings (or stranger values) across batches —
+    Python would raise TypeError on ``3 < "a"``, and a merely per-type
+    key would make ``sorted`` order-dependent.
+    """
     if value is None:
-        return (0, 0)
+        return (0, 0, 0)
     if isinstance(value, bool):
-        return (1, int(value))
+        return (1, 0, int(value))
     if isinstance(value, (int, float)):
-        return (1, value)
-    return (2, str(value))
+        if value != value:  # NaN: no order among numbers; pin it after them
+            return (1, 1, 0)
+        return (1, 0, value)
+    if isinstance(value, str):
+        return (2, 0, value)
+    return (3, 0, (type(value).__name__, str(value)))
 
 
 def _null_free_key(key: tuple) -> bool:
@@ -41,3 +69,219 @@ def _null_pad(props: RelProps) -> Row:
     from repro.query.relation import is_hidden
 
     return tuple(0 if is_hidden(column) else None for column in props.columns)
+
+
+class ColumnBatch:
+    """A batch of rows stored column-wise: the engine's data payload.
+
+    Attributes:
+        columns: One plain Python list per column, all of equal length.
+            SQL NULL is stored as ``None``.
+        length: Number of rows (kept explicitly so zero-column batches —
+            e.g. a scalar aggregate's input projection — still know their
+            cardinality).
+
+    Batches are immutable by convention: operators build new batches from
+    old columns (which may be aliased, never mutated in place).  The
+    per-column validity bitmap is derived lazily from the value lists and
+    cached — ``validity(i)[r]`` is 1 iff ``columns[i][r] is not None`` —
+    so hot kernels can branch to a no-NULL fast path without paying for
+    bitmap maintenance on every transform.
+
+    Batches pickle as (columns, length), which is what ships between the
+    coordinator and process-pool workers.
+    """
+
+    __slots__ = ("columns", "length", "_validity")
+
+    def __init__(self, columns: list[list], length: int | None = None) -> None:
+        if length is None:
+            length = len(columns[0]) if columns else 0
+        self.columns = columns
+        self.length = length
+        self._validity: list[bytearray | None] | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Row], width: int) -> "ColumnBatch":
+        """Transpose *rows* (each of *width* fields) into a batch."""
+        if not rows:
+            return cls([[] for _ in range(width)], 0)
+        return cls([list(column) for column in zip(*rows)], len(rows))
+
+    @classmethod
+    def empty(cls, width: int) -> "ColumnBatch":
+        """A zero-row batch of *width* columns."""
+        return cls([[] for _ in range(width)], 0)
+
+    @staticmethod
+    def concat(batches: Sequence["ColumnBatch"], width: int) -> "ColumnBatch":
+        """Concatenate *batches* (all of *width* columns) in order."""
+        batches = [batch for batch in batches if batch.length]
+        if not batches:
+            return ColumnBatch.empty(width)
+        if len(batches) == 1:
+            return batches[0]
+        columns = []
+        for index in range(width):
+            merged = list(batches[0].columns[index])
+            for batch in batches[1:]:
+                merged.extend(batch.columns[index])
+            columns.append(merged)
+        return ColumnBatch(columns, sum(batch.length for batch in batches))
+
+    # -- shape -------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnBatch):
+            return NotImplemented
+        return self.length == other.length and self.columns == other.columns
+
+    def __repr__(self) -> str:  # pragma: no cover - repr sugar
+        return f"ColumnBatch({self.width} cols x {self.length} rows)"
+
+    # -- validity bitmaps --------------------------------------------------
+
+    def validity(self, index: int) -> bytearray:
+        """The validity bitmap of column *index* (1 = valid, 0 = NULL)."""
+        if self._validity is None:
+            self._validity = [None] * len(self.columns)
+        cached = self._validity[index]
+        if cached is None:
+            cached = bytearray(
+                0 if value is None else 1 for value in self.columns[index]
+            )
+            self._validity[index] = cached
+        return cached
+
+    def has_nulls(self, index: int) -> bool:
+        """True if column *index* contains any NULL."""
+        return None in self.columns[index]
+
+    # -- row views ---------------------------------------------------------
+
+    def to_rows(self) -> list[Row]:
+        """The batch as a list of row tuples."""
+        if not self.columns:
+            return [()] * self.length
+        return list(zip(*self.columns))
+
+    def iter_rows(self) -> Iterator[Row]:
+        """Iterate over the rows as tuples."""
+        if not self.columns:
+            return iter([()] * self.length)
+        return zip(*self.columns)
+
+    # -- transforms (always produce new batches) ---------------------------
+
+    def select(self, positions: Sequence[int]) -> "ColumnBatch":
+        """A batch holding only the columns at *positions* (aliased)."""
+        return ColumnBatch([self.columns[p] for p in positions], self.length)
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        """Rows ``start:stop`` as a new batch."""
+        stop = min(stop, self.length)
+        return ColumnBatch(
+            [column[start:stop] for column in self.columns],
+            max(stop - start, 0),
+        )
+
+    def chunks(self, size: int) -> Iterator["ColumnBatch"]:
+        """Split into consecutive batches of at most *size* rows.
+
+        A batch already within *size* yields itself (no copying); an
+        empty batch yields nothing.
+        """
+        if self.length <= size:
+            if self.length:
+                yield self
+            return
+        for start in range(0, self.length, size):
+            yield self.slice(start, start + size)
+
+    def compress(self, mask: Sequence[object]) -> "ColumnBatch":
+        """Rows whose *mask* entry is truthy (None counts as false)."""
+        columns = [list(compress(column, mask)) for column in self.columns]
+        if columns:
+            kept = len(columns[0])
+        else:
+            kept = sum(1 for value in mask if value)
+        return ColumnBatch(columns, kept)
+
+    def take(self, indices: Sequence[int]) -> "ColumnBatch":
+        """The rows at *indices*, in that order (indices may repeat)."""
+        # map(column.__getitem__, ...) keeps the gather loop in C.
+        return ColumnBatch(
+            [list(map(column.__getitem__, indices)) for column in self.columns],
+            len(indices),
+        )
+
+    def key_tuples(self, positions: Sequence[int]) -> list[tuple]:
+        """Per-row key tuples over the columns at *positions*.
+
+        Matches the row engine's ``tuple(row[p] for p in positions)``;
+        with no positions every row keys to ``()``.
+        """
+        if not positions:
+            return [()] * self.length
+        return list(zip(*(self.columns[p] for p in positions)))
+
+    def key_values(self, positions: Sequence[int]) -> list:
+        """Shuffle keys: the bare column for one position, tuples else."""
+        if len(positions) == 1:
+            return self.columns[positions[0]]
+        return self.key_tuples(positions)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> tuple:
+        return (self.columns, self.length)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.columns, self.length = state
+        self._validity = None
+
+
+def distinct_batch(batch: ColumnBatch) -> ColumnBatch:
+    """Row-level DISTINCT preserving first-occurrence order.
+
+    The batch equivalent of ``list(dict.fromkeys(rows))``.
+    """
+    rows = dict.fromkeys(batch.iter_rows())
+    if len(rows) == batch.length:
+        return batch
+    return ColumnBatch.from_rows(list(rows), batch.width)
+
+
+def pad_take(
+    column: list, indices: Sequence[int], pad_value: object
+) -> list:
+    """``[column[i] for i in indices]`` with ``-1`` mapping to *pad_value*.
+
+    The outer-join gather: ``-1`` marks a probe row with no match, whose
+    build-side columns fill with the null pad.
+    """
+    return [pad_value if i < 0 else column[i] for i in indices]
+
+
+def all_false_mask(masks: Iterable[Sequence[object]], length: int) -> list[bool]:
+    """Per-row ``True`` where every mask entry is falsy.
+
+    Used by PREF dedup: a row is canonical when all governing dup bits
+    are 0.
+    """
+    masks = list(masks)
+    if not masks:
+        return [True] * length
+    if len(masks) == 1:
+        return [not value for value in masks[0]]
+    return [not any(values) for values in zip(*masks)]

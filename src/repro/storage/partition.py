@@ -25,7 +25,15 @@ Row = tuple
 class Partition:
     """Rows of one partition plus the PREF bitmap indexes."""
 
-    __slots__ = ("partition_id", "rows", "source_ids", "dup", "has_partner")
+    __slots__ = (
+        "partition_id",
+        "rows",
+        "source_ids",
+        "dup",
+        "has_partner",
+        "_columnar",
+        "_bitmap_lists",
+    )
 
     def __init__(self, partition_id: int) -> None:
         self.partition_id = partition_id
@@ -33,6 +41,8 @@ class Partition:
         self.source_ids: list[int] = []
         self.dup = Bitmap()
         self.has_partner = Bitmap()
+        self._columnar: list[list] | None = None
+        self._bitmap_lists: tuple[list[int], list[int]] | None = None
 
     def append(
         self,
@@ -46,6 +56,56 @@ class Partition:
         self.source_ids.append(source_id)
         self.dup.append(duplicate)
         self.has_partner.append(has_partner)
+        self._columnar = None
+        self._bitmap_lists = None
+
+    def columnar(self) -> list[list]:
+        """The rows transposed into per-column value lists, cached.
+
+        Scans re-read the same immutable partitions on every query, so
+        the transpose is paid once per load, not once per scan.  Callers
+        must treat the returned columns as read-only (the engine's
+        batches alias, never mutate).  Only non-empty partitions are
+        served from here: an empty row list carries no width.
+        """
+        cached = self._columnar
+        if cached is None:
+            cached = self._columnar = [
+                list(column) for column in zip(*self.rows)
+            ]
+        return cached
+
+    def bitmap_lists(self) -> tuple[list[int], list[int]]:
+        """The ``dup`` / ``has_partner`` bitmaps as 0/1 lists, cached."""
+        cached = self._bitmap_lists
+        if cached is None:
+            cached = self._bitmap_lists = (
+                self.dup.tolist(),
+                self.has_partner.tolist(),
+            )
+        return cached
+
+    def __getstate__(self) -> tuple:
+        # The caches are derived data: drop them from pickles so shipping
+        # a partition to a pool worker does not double its payload.
+        return (
+            self.partition_id,
+            self.rows,
+            self.source_ids,
+            self.dup,
+            self.has_partner,
+        )
+
+    def __setstate__(self, state: tuple) -> None:
+        (
+            self.partition_id,
+            self.rows,
+            self.source_ids,
+            self.dup,
+            self.has_partner,
+        ) = state
+        self._columnar = None
+        self._bitmap_lists = None
 
     @property
     def row_count(self) -> int:

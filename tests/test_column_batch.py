@@ -1,0 +1,188 @@
+"""ColumnBatch round-trips, sort-key totality, batch-size invariance."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import (
+    all_hashed_config,
+    pref_chain_config,
+    shop_database,
+    shop_schema,
+)
+from repro.engine.rows import ColumnBatch, _sort_key
+from repro.partitioning import partition_database
+from repro.query import Executor, LocalExecutor, Query
+from repro.query.expressions import col, lit
+from repro.storage import Database
+
+# -- round trip: rows -> columns -> rows ------------------------------------
+
+sql_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=8),
+)
+
+
+@st.composite
+def row_sets(draw):
+    """A rectangular list of rows (possibly zero rows and/or columns)."""
+    width = draw(st.integers(min_value=0, max_value=4))
+    count = draw(st.integers(min_value=0, max_value=12))
+    rows = [
+        tuple(draw(sql_values) for _ in range(width)) for _ in range(count)
+    ]
+    return rows, width
+
+
+@given(row_sets())
+@settings(max_examples=200, deadline=None)
+def test_round_trip_is_lossless(case):
+    rows, width = case
+    batch = ColumnBatch.from_rows(rows, width)
+    assert batch.length == len(rows)
+    assert batch.width == width
+    assert batch.to_rows() == rows
+    assert list(batch.iter_rows()) == rows
+    for index in range(width):
+        assert list(batch.validity(index)) == [
+            0 if row[index] is None else 1 for row in rows
+        ]
+        assert batch.has_nulls(index) == any(
+            row[index] is None for row in rows
+        )
+    clone = pickle.loads(pickle.dumps(batch))
+    assert clone == batch
+    assert clone.to_rows() == rows
+
+
+def test_round_trip_hidden_dup_bits():
+    # PREF scans attach the dup/hasS bitmaps as trailing 0/1 int columns;
+    # they must survive the transposes bit-for-bit (0 stays int 0, never
+    # None or False).
+    rows = [("a", 1, 0, 1), ("b", None, 1, 1), ("c", 3, 0, 0)]
+    batch = ColumnBatch.from_rows(rows, 4)
+    assert batch.to_rows() == rows
+    assert batch.columns[2] == [0, 1, 0]
+    assert all(type(bit) is int for bit in batch.columns[2])
+
+
+def test_empty_and_zero_column_batches():
+    empty = ColumnBatch.empty(3)
+    assert empty.length == 0 and empty.width == 3
+    assert empty.to_rows() == []
+    assert ColumnBatch.from_rows([], 3).to_rows() == []
+    # Zero-column batches still know their cardinality (scalar aggregate
+    # inputs project away every column but must keep the row count).
+    no_cols = ColumnBatch([], 5)
+    assert no_cols.length == 5
+    assert no_cols.to_rows() == [()] * 5
+    assert no_cols.key_tuples(()) == [()] * 5
+    assert pickle.loads(pickle.dumps(no_cols)).length == 5
+
+
+def test_transform_sanity():
+    rows = [(i, f"s{i % 3}", None if i % 4 == 0 else i * 0.5) for i in range(10)]
+    batch = ColumnBatch.from_rows(rows, 3)
+    assert batch.select([2, 0]).to_rows() == [(r[2], r[0]) for r in rows]
+    assert batch.slice(2, 5).to_rows() == rows[2:5]
+    chunked = [chunk.to_rows() for chunk in batch.chunks(4)]
+    assert sum(chunked, []) == rows
+    mask = [i % 2 for i in range(10)]
+    assert batch.compress(mask).to_rows() == rows[1::2]
+    assert batch.take([3, 3, 0]).to_rows() == [rows[3], rows[3], rows[0]]
+
+
+# -- _sort_key: total order over mixed-type columns --------------------------
+
+
+def test_sort_key_is_total_over_mixed_types():
+    values = [None, True, -7, 3, 2.5, float("nan"), "", "a", "z", b"x", (1, 2)]
+    ranked = sorted(values, key=_sort_key)  # must not raise TypeError
+    assert ranked[0] is None
+    nan_pos = next(i for i, v in enumerate(ranked) if v != v)
+    number_positions = [
+        i
+        for i, v in enumerate(ranked)
+        if isinstance(v, (int, float, bool)) and v == v
+    ]
+    string_positions = [i for i, v in enumerate(ranked) if isinstance(v, str)]
+    assert max(number_positions) < nan_pos < min(string_positions)
+    # Keys are distinct here, so every permutation must sort identically
+    # (antisymmetry: 3 < "a" and "a" < 3 cannot both hold).
+    import random
+
+    rng = random.Random(11)
+    for _ in range(20):
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled, key=_sort_key) == ranked
+
+
+def test_order_by_mixed_int_string_column():
+    # Regression: ORDER BY over a column holding both ints and strings
+    # used to raise TypeError inside sorted(); _sort_key ranks by type.
+    database = Database(shop_schema())
+    mixed = [3, "apple", None, 7, "zed", 1, "apple"]
+    database.load(
+        "nation", [(i, value) for i, value in enumerate(mixed)]
+    )
+    partitioned = partition_database(database, all_hashed_config(3))
+    plan = (
+        Query.scan("nation", alias="n")
+        .select(["n.nname"])
+        .order_by(["nname"])
+        .plan()
+    )
+    result = Executor(partitioned).execute(plan)
+    expected = [(value,) for value in sorted(mixed, key=_sort_key)]
+    assert result.rows == expected
+    assert LocalExecutor(database).execute(plan).rows == expected
+
+
+# -- batch size is a pure granularity knob -----------------------------------
+
+
+def _invariance_plans():
+    l = Query.scan("lineitem", alias="l")
+    o = Query.scan("orders", alias="o")
+    c = Query.scan("customer", alias="c")
+    yield o.where(col("o.total") > lit(50.0)).aggregate(
+        aggregates=[("count", None, "cnt"), ("sum", col("o.total"), "s")]
+    ).plan()
+    yield c.join(o, on=[("c.custkey", "o.custkey")]).join(
+        l, on=[("o.orderkey", "l.orderkey")]
+    ).aggregate(
+        group_by=["c.cname"], aggregates=[("sum", col("l.qty"), "q")]
+    ).order_by(["c.cname"]).plan()
+    yield o.select(["o.custkey"], distinct=True).order_by(["custkey"]).plan()
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 4096])
+def test_batch_size_invariance(batch_size):
+    database = shop_database(seed=7)
+    partitioned = partition_database(database, pref_chain_config(4))
+    reference = Executor(partitioned)  # DEFAULT_BATCH_SIZE
+    probe = Executor(partitioned, batch_size=batch_size)
+    for plan in _invariance_plans():
+        expected = reference.execute(plan, analyze=True)
+        actual = probe.execute(plan, analyze=True)
+        assert actual.rows == expected.rows
+        # Identical canonical traces: same rows through the same
+        # operators with the same exchange accounting, independent of
+        # the chunking granularity.
+        assert actual.trace.canonical() == expected.trace.canonical()
+
+
+def test_batch_size_must_be_positive():
+    database = shop_database(seed=7)
+    partitioned = partition_database(database, pref_chain_config(4))
+    with pytest.raises(ValueError):
+        Executor(partitioned, batch_size=0)
