@@ -70,6 +70,15 @@ def explain_main(argv: list[str]) -> int:
         "--batch-size", type=int, default=DEFAULT_BATCH_SIZE,
         help="rows per execution batch (results are invariant to this)",
     )
+    parser.add_argument(
+        "--predicate-transfer", action="store_true",
+        help="transfer Bloom filters across the join graph before "
+        "execution (results are invariant to this)",
+    )
+    parser.add_argument(
+        "--bloom-fpr", type=float, default=0.01,
+        help="target false-positive rate of the transferred Bloom filters",
+    )
     args = parser.parse_args(argv)
 
     database = generate_tpch(scale_factor=args.scale, seed=args.seed)
@@ -80,7 +89,9 @@ def explain_main(argv: list[str]) -> int:
 
     if not args.analyze:
         cluster = SimulatedCluster.partition(
-            database, design.config, batch_size=args.batch_size
+            database, design.config, batch_size=args.batch_size,
+            predicate_transfer=args.predicate_transfer,
+            bloom_fpr=args.bloom_fpr,
         )
         try:
             print(cluster.explain(build()))
@@ -98,6 +109,8 @@ def explain_main(argv: list[str]) -> int:
         cluster = SimulatedCluster(
             database, partitioned, design.config, backend=backend_name,
             batch_size=args.batch_size,
+            predicate_transfer=args.predicate_transfer,
+            bloom_fpr=args.bloom_fpr,
         )
         try:
             result = cluster.run(build(), analyze=True, query_name=args.query)

@@ -352,6 +352,8 @@ def run_workload(
     analyze: bool = True,
     batch_size: int = DEFAULT_BATCH_SIZE,
     prepared: Sequence[PartitionedDatabase] | None = None,
+    predicate_transfer: bool = False,
+    bloom_fpr: float = 0.01,
 ) -> dict[str, QueryRun]:
     """Execute *queries* under *variant*, returning simulated runtimes.
 
@@ -365,6 +367,8 @@ def run_workload(
     short-circuits materialisation with an already-materialised variant
     (from :func:`materialize_variant`) so callers can separate loading
     from query execution, e.g. when timing the engine.
+    *predicate_transfer* / *bloom_fpr* switch on Bloom-filter predicate
+    transfer in every executor (results are invariant in the knob).
     """
     from repro.engine.backends import make_backend
 
@@ -380,6 +384,8 @@ def run_workload(
             backend=backend,
             cost=cost,
             batch_size=batch_size,
+            predicate_transfer=predicate_transfer,
+            bloom_fpr=bloom_fpr,
         )
         for dp in partitioned
     ]
@@ -427,6 +433,8 @@ def compare_backends(
     check: bool = True,
     analyze: bool = False,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    predicate_transfer: bool = False,
+    bloom_fpr: float = 0.01,
 ) -> dict[str, dict[str, BackendRun]]:
     """Run *queries* once per backend and compare outputs and stats.
 
@@ -458,6 +466,8 @@ def compare_backends(
                 backend=backend,
                 cost=cost,
                 batch_size=batch_size,
+                predicate_transfer=predicate_transfer,
+                bloom_fpr=bloom_fpr,
             )
             for dp in partitioned
         ]

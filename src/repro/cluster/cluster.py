@@ -71,6 +71,11 @@ class SimulatedCluster:
             pipeline operators (default
             :data:`~repro.engine.rows.DEFAULT_BATCH_SIZE`); a pure
             granularity knob — results are invariant in it.
+        predicate_transfer: Enable Bloom-filter predicate transfer across
+            the join graph (results are invariant in this knob; bytes
+            shuffled and rows shipped drop on non-co-partitioned joins).
+        bloom_fpr: Target false-positive rate of the transferred Bloom
+            filters, in (0, 1).
     """
 
     def __init__(
@@ -83,6 +88,8 @@ class SimulatedCluster:
         locality: bool = True,
         backend: Backend | str | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        predicate_transfer: bool = False,
+        bloom_fpr: float = 0.01,
     ) -> None:
         self.database = database
         self.partitioned = partitioned
@@ -96,6 +103,8 @@ class SimulatedCluster:
             backend=self.backend,
             cost=self.cost,
             batch_size=batch_size,
+            predicate_transfer=predicate_transfer,
+            bloom_fpr=bloom_fpr,
         )
         self.loader = BulkLoader(partitioned, config)
 
@@ -109,6 +118,8 @@ class SimulatedCluster:
         locality: bool = True,
         backend: Backend | str | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        predicate_transfer: bool = False,
+        bloom_fpr: float = 0.01,
     ) -> "SimulatedCluster":
         """Partition *database* under *config* and wrap it in a cluster."""
         partitioned = partition_database(database, config)
@@ -121,6 +132,8 @@ class SimulatedCluster:
             locality=locality,
             backend=backend,
             batch_size=batch_size,
+            predicate_transfer=predicate_transfer,
+            bloom_fpr=bloom_fpr,
         )
 
     @property

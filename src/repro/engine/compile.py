@@ -21,6 +21,7 @@ from dataclasses import replace
 from repro.errors import ExecutionError
 from repro.query.plan import (
     Aggregate,
+    BloomProbe,
     DedupFilter,
     Filter,
     Join,
@@ -35,6 +36,7 @@ from repro.query.rewrite import Annotated
 from repro.engine.rows import DEFAULT_BATCH_SIZE
 from repro.engine.operators import (
     PhysicalAggregate,
+    PhysicalBloomProbe,
     PhysicalDedup,
     PhysicalFilter,
     PhysicalGather,
@@ -85,6 +87,18 @@ def compile_plan(
     return root
 
 
+def _scan_adjacent(annotated: Annotated) -> bool:
+    """True when *annotated* reads base partitions index-style.
+
+    A Bloom probe inserted over a scan is transparent to the index cost
+    model: operators above still charge output rows only, exactly as
+    they would directly over the scan.
+    """
+    while isinstance(annotated.node, BloomProbe):
+        annotated = annotated.inputs[0]
+    return isinstance(annotated.node, Scan)
+
+
 class _Compiler:
     """Compiles one annotated plan against one partitioned database."""
 
@@ -98,6 +112,8 @@ class _Compiler:
             return self._scan(annotated)
         if isinstance(node, Filter):
             return self._filter(annotated)
+        if isinstance(node, BloomProbe):
+            return self._bloom_probe(annotated)
         if isinstance(node, Project):
             return self._project(annotated)
         if isinstance(node, DedupFilter):
@@ -131,8 +147,14 @@ class _Compiler:
         node: Filter = annotated.node
         child = self.lower(annotated.inputs[0])
         predicate = node.condition.bind_batch(child.props.columns)
-        indexed = isinstance(annotated.inputs[0].node, Scan)
+        indexed = _scan_adjacent(annotated.inputs[0])
         return PhysicalFilter(annotated, child, predicate, indexed)
+
+    def _bloom_probe(self, annotated: Annotated) -> PhysicalOperator:
+        child = self.lower(annotated.inputs[0])
+        filters = annotated.extra.get("bloom", ())
+        indexed = _scan_adjacent(annotated.inputs[0])
+        return PhysicalBloomProbe(annotated, child, filters, indexed)
 
     def _project(self, annotated: Annotated) -> PhysicalOperator:
         node: Project = annotated.node
@@ -144,14 +166,14 @@ class _Compiler:
     def _dedup(self, annotated: Annotated) -> PhysicalOperator:
         child = self.lower(annotated.inputs[0])
         positions = child.props.positions(child.props.governing)
-        indexed = isinstance(annotated.inputs[0].node, Scan)
+        indexed = _scan_adjacent(annotated.inputs[0])
         return PhysicalDedup(annotated, child, positions, indexed)
 
     def _partner_filter(self, annotated: Annotated) -> PhysicalOperator:
         node: PartnerFilter = annotated.node
         child = self.lower(annotated.inputs[0])
         position = child.props.position(has_column(node.table))
-        indexed = isinstance(annotated.inputs[0].node, Scan)
+        indexed = _scan_adjacent(annotated.inputs[0])
         return PhysicalPartnerFilter(
             annotated, child, position, node.expect, indexed
         )

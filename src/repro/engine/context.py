@@ -54,6 +54,10 @@ class OperatorStats:
     #: Rows dropped by PREF duplicate elimination (dedup operators and
     #: the governing-bitmap skips inside repartition routing).
     dup_eliminated: int = 0
+    #: Rows probed against predicate-transfer Bloom filters.
+    bloom_probed: int = 0
+    #: Rows pruned by predicate-transfer Bloom filters.
+    bloom_pruned: int = 0
     #: Output partition index -> rows emitted into it, for skew reporting.
     rows_out_by_partition: dict[int, int] = field(default_factory=dict)
 
@@ -108,7 +112,7 @@ class ContextDelta:
         self.join_events: list[tuple[int, int, int, int]] = []
         #: op_id -> [per-node work, network bytes, rows shipped, shuffles,
         #: partitions scanned, rows out, rows-out-by-partition,
-        #: dup-eliminated]
+        #: dup-eliminated, bloom-probed, bloom-pruned]
         self.op_slots: dict[int, list] = {}
         self.metrics = MetricsRegistry(locked=False)
         self.trace_events: list[TraceEvent] = []
@@ -118,7 +122,7 @@ class ContextDelta:
     def _slot(self, op_id: int) -> list:
         slot = self.op_slots.get(op_id)
         if slot is None:
-            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0, {}, 0]
+            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0, {}, 0, 0, 0]
             self.op_slots[op_id] = slot
         return slot
 
@@ -184,6 +188,13 @@ class ContextDelta:
         self.rows_dup_eliminated += rows
         self._slot(op.op_id)[7] += rows
         self.metrics.inc("engine.rows.dup_eliminated", rows)
+
+    def add_bloom(self, op: "PhysicalOperator", probed: int, pruned: int) -> None:
+        slot = self._slot(op.op_id)
+        slot[8] += probed
+        slot[9] += pruned
+        self.metrics.inc("engine.rows.bloom_probed", probed)
+        self.metrics.inc("engine.rows.bloom_pruned", pruned)
 
     def record_trace(self, event: TraceEvent) -> None:
         if self.trace is not None:
@@ -322,6 +333,15 @@ class ExecutionContext:
             self._operators[op.op_id].dup_eliminated += rows
         self.metrics.inc("engine.rows.dup_eliminated", rows)
 
+    def add_bloom(self, op: "PhysicalOperator", probed: int, pruned: int) -> None:
+        """Record a predicate-transfer Bloom probe pass in *op*."""
+        with self._lock:
+            slot = self._operators[op.op_id]
+            slot.bloom_probed += probed
+            slot.bloom_pruned += pruned
+        self.metrics.inc("engine.rows.bloom_probed", probed)
+        self.metrics.inc("engine.rows.bloom_pruned", pruned)
+
     def record_trace(self, event: TraceEvent) -> None:
         """Forward *event* to the trace hook, if one is installed."""
         if self.trace is not None:
@@ -363,6 +383,8 @@ class ExecutionContext:
                 for partition, rows in slot[6].items():
                     by_partition[partition] = by_partition.get(partition, 0) + rows
                 target.dup_eliminated += slot[7]
+                target.bloom_probed += slot[8]
+                target.bloom_pruned += slot[9]
         self.metrics.merge(delta.metrics)
         for event in delta.trace_events:
             self.record_trace(event)

@@ -318,6 +318,58 @@ class PhysicalFilter(PhysicalOperator):
         self.store_batch(p, out)
 
 
+class PhysicalBloomProbe(PhysicalOperator):
+    """Predicate-transfer probe: drop rows whose join keys miss a Bloom
+    filter built from the other side of a join edge.
+
+    Filters are built once on the coordinator at plan time and travel
+    with the operator; the coordinator ships them to every other node
+    before scanning starts, which the accounting charges as one filter
+    payload per non-coordinator partition.  Probing is per-key and
+    NULL-rejecting, so results are invariant in the knob (a pruned row
+    could never have survived the downstream join).
+    """
+
+    name = "bloom_probe"
+
+    def __init__(
+        self,
+        annotated: Annotated,
+        child: PhysicalOperator,
+        filters: Sequence,
+        indexed: bool,
+    ) -> None:
+        super().__init__(annotated, [child], child.output_count)
+        self.filters = [(tuple(f.positions), f.bloom) for f in filters]
+        self.indexed = indexed
+        self.filter_bytes = sum(f.bloom.byte_size for f in filters)
+
+    def run_partition(self, ctx: ExecutionContext, p: int) -> None:
+        child = self.inputs[0]
+        batch = child.partition_batch(p)
+        pieces = []
+        for chunk in batch.chunks(self.batch_size):
+            mask: list | None = None
+            for positions, bloom in self.filters:
+                hits = bloom.probe_many(chunk.key_values(positions))
+                if mask is None:
+                    mask = hits
+                else:
+                    mask = [a and b for a, b in zip(mask, hits)]
+            pieces.append(chunk if mask is None else chunk.compress(mask))
+        out = ColumnBatch.concat(pieces, self.width)
+        if p != 0 and self.filter_bytes:
+            # Shipping the coordinator-built filters to this node.
+            ctx.add_network(self, self.filter_bytes, 0)
+        ctx.account(
+            self, child.props.part.method, p,
+            out.length if self.indexed else batch.length,
+        )
+        ctx.add_bloom(self, batch.length, batch.length - out.length)
+        ctx.add_output(self, out.length, p)
+        self.store_batch(p, out)
+
+
 class PhysicalProject(PhysicalOperator):
     """Column projection / computation, optionally locally distinct."""
 

@@ -63,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
         help="re-run a repro file instead of generating cases",
     )
     parser.add_argument(
+        "--predicate-transfer",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="variant-executor Bloom transfer: random per case (auto), "
+        "forced on, or forced off",
+    )
+    parser.add_argument(
         "--quiet", action="store_true", help="suppress progress output"
     )
     args = parser.parse_args(argv)
@@ -87,6 +94,10 @@ def main(argv: list[str] | None = None) -> int:
         if not args.quiet and done % 50 == 0:
             print(f"  {done}/{total} cases clean", file=sys.stderr)
 
+    overrides = None
+    if args.predicate_transfer != "auto":
+        overrides = {"predicate_transfer": args.predicate_transfer == "on"}
+
     report = run_fuzz(
         args.cases,
         args.seed,
@@ -96,6 +107,7 @@ def main(argv: list[str] | None = None) -> int:
         out=args.out,
         max_shrink=args.max_shrink,
         progress=progress,
+        variant_overrides=overrides,
     )
     print(report.summary())
     return 0 if report.ok else 1

@@ -51,6 +51,7 @@ def generate_case(seed: int, index: int = 0) -> dict:
         "variant": {
             "optimizations": rng.random() < 0.5,
             "locality": rng.random() < 0.5,
+            "predicate_transfer": rng.random() < 0.5,
         },
     }
     for _ in range(rng.randint(1, 3)):

@@ -108,6 +108,7 @@ def run_case(
             partitioned,
             optimizations=bool(variant.get("optimizations", True)),
             locality=bool(variant.get("locality", True)),
+            predicate_transfer=bool(variant.get("predicate_transfer", False)),
             backend=SerialBackend(),
         )
         if variant is not None
@@ -342,13 +343,21 @@ def run_fuzz(
     out: str | None = None,
     max_shrink: int = 250,
     progress=None,
+    variant_overrides: dict | None = None,
 ) -> FuzzReport:
-    """Generate and run *cases* cases; stop (and shrink) on the first failure."""
+    """Generate and run *cases* cases; stop (and shrink) on the first failure.
+
+    ``variant_overrides`` pins variant-executor flags across every case
+    (e.g. ``{"predicate_transfer": True}`` for a dedicated on/off sweep)
+    on top of the generator's per-case random choices.
+    """
     from repro.fuzz.shrinker import shrink
 
     report = FuzzReport(seed=seed, cases_requested=cases)
     for index in range(cases):
         case = generate_case(seed, index)
+        if variant_overrides:
+            case.setdefault("variant", {}).update(variant_overrides)
         divergence = run_case(case, backends=backends, check_sqlite=check_sqlite)
         report.cases_run += 1
         report.queries_run += len(case["queries"]) * (2 if case["loads"] else 1)

@@ -52,6 +52,9 @@ def span_to_json(span: OperatorSpan) -> dict:
         "rows_shipped": span.rows_shipped,
         "shuffles": span.shuffles,
         "partitions_scanned": span.partitions_scanned,
+        "bloom_filters": span.bloom_filters,
+        "bloom_probed": span.bloom_probed,
+        "bloom_pruned": span.bloom_pruned,
         "node_work": list(span.node_work),
         "seconds": span.seconds,
         "locality": span.locality,
@@ -202,6 +205,8 @@ def _measured(span: OperatorSpan) -> str:
         fields.append(f"shuffles={span.shuffles}")
     if span.dup_eliminated:
         fields.append(f"dup_elim={span.dup_eliminated}")
+    if span.bloom_probed or span.bloom_filters:
+        fields.append(f"bloom_pruned={span.bloom_pruned}/{span.bloom_probed}")
     if span.partitions_scanned:
         fields.append(f"parts={span.partitions_scanned}")
     locality = span.locality

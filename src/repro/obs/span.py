@@ -88,6 +88,11 @@ class OperatorSpan:
     rows_shipped: int = 0
     shuffles: int = 0
     partitions_scanned: int = 0
+    #: Predicate transfer: Bloom filters attached (static), rows probed
+    #: against them and rows pruned by them (measured).
+    bloom_filters: int = 0
+    bloom_probed: int = 0
+    bloom_pruned: int = 0
     node_work: tuple[float, ...] = ()
     tasks: tuple[TaskSpan, ...] = ()
     children: tuple["OperatorSpan", ...] = ()
@@ -155,8 +160,14 @@ class OperatorSpan:
         yield self
 
     def canonical(self) -> tuple:
-        """Comparable form of the subtree: shape and counts, no timings."""
-        return (
+        """Comparable form of the subtree: shape and counts, no timings.
+
+        Spans without predicate-transfer activity keep the exact tuple
+        shape of the pre-Bloom engine, so the frozen row-engine trace
+        fixtures stay comparable; a bloom_probe span appends one
+        ``(filters, probed, pruned)`` element.
+        """
+        base = (
             self.op_id,
             self.label,
             self.name,
@@ -176,6 +187,9 @@ class OperatorSpan:
             tuple(sorted(task.canonical() for task in self.tasks)),
             tuple(child.canonical() for child in self.children),
         )
+        if self.bloom_filters or self.bloom_probed or self.bloom_pruned:
+            base += ((self.bloom_filters, self.bloom_probed, self.bloom_pruned),)
+        return base
 
 
 @dataclass
@@ -260,6 +274,7 @@ def build_trace(
             governing=tuple(props.governing),
             strategy=extra.get("strategy"),
             case=extra.get("case"),
+            bloom_filters=len(extra.get("bloom", ())),
             children=children,
             tasks=tasks,
         )
@@ -271,6 +286,8 @@ def build_trace(
             span.rows_shipped = stats.rows_shipped
             span.shuffles = stats.shuffles
             span.partitions_scanned = stats.partitions_scanned
+            span.bloom_probed = stats.bloom_probed
+            span.bloom_pruned = stats.bloom_pruned
             span.node_work = tuple(stats.node_work)
         return span
 

@@ -352,6 +352,7 @@ class BulkLoader:
                             f"{table}.{column}"
                         )
                 partition.rows[index] = new_row
+                partition.invalidate_caches()
                 updated += 1
         return updated
 
@@ -414,9 +415,13 @@ def _locate_rows(
 def _mark_has_partner(table: PartitionedTable, source_id: int) -> None:
     """Set the ``hasS`` bit on every copy of *source_id*."""
     for partition in table.partitions:
+        changed = False
         for index, sid in enumerate(partition.source_ids):
             if sid == source_id:
                 partition.has_partner[index] = True
+                changed = True
+        if changed:
+            partition.invalidate_caches()
 
 
 def _rebuild_partition(partition, entries) -> None:
@@ -427,3 +432,4 @@ def _rebuild_partition(partition, entries) -> None:
     partition.source_ids = [sid for _row, sid, _dup, _has in entries]
     partition.dup = Bitmap(dup for _row, _sid, dup, _has in entries)
     partition.has_partner = Bitmap(has for _row, _sid, _dup, has in entries)
+    partition.invalidate_caches()

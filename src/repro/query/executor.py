@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.engine.backends import Backend, SerialBackend
+from repro.engine.bloom import validate_bloom_params
 from repro.engine.context import (
     ExecutionContext,
     OperatorStats,
@@ -120,6 +121,11 @@ class Executor:
             pipeline operators (default
             :data:`~repro.engine.rows.DEFAULT_BATCH_SIZE`).  A pure
             granularity knob: results are invariant in it.
+        predicate_transfer: Enable Bloom-filter predicate transfer across
+            the join graph (pre-filters scans so fewer rows are shuffled
+            and probed).  Results are invariant in this knob.
+        bloom_fpr: Target false-positive rate for the transferred Bloom
+            filters, in (0, 1).
     """
 
     def __init__(
@@ -131,6 +137,8 @@ class Executor:
         cost: CostParameters | None = None,
         trace: Callable[[TraceEvent], None] | None = None,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        predicate_transfer: bool = False,
+        bloom_fpr: float = 0.01,
     ) -> None:
         self.partitioned = partitioned
         self.count = partitioned.partition_count
@@ -143,6 +151,20 @@ class Executor:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
+        validate_bloom_params(bloom_fpr)
+        self.predicate_transfer = bool(predicate_transfer)
+        self.bloom_fpr = float(bloom_fpr)
+
+    def _annotate(self, plan: PlanNode) -> Annotated:
+        """Rewrite *plan* and apply predicate transfer when enabled."""
+        annotated = self.rewriter.rewrite(plan)
+        if self.predicate_transfer:
+            from repro.query.predicate_transfer import apply_predicate_transfer
+
+            annotated = apply_predicate_transfer(
+                annotated, self.partitioned, self.bloom_fpr
+            )
+        return annotated
 
     def execute(
         self, plan: PlanNode, analyze: bool = False, query_name: str | None = None
@@ -158,7 +180,7 @@ class Executor:
         # call time keeps every package-first import order working.
         from repro.engine.compile import compile_plan
 
-        annotated = self.rewriter.rewrite(plan)
+        annotated = self._annotate(plan)
         root = compile_plan(
             annotated, self.partitioned, batch_size=self.batch_size
         )
@@ -215,4 +237,4 @@ class Executor:
 
     def explain(self, plan: PlanNode) -> str:
         """The annotated physical plan for *plan*, as text."""
-        return self.rewriter.rewrite(plan).explain()
+        return self._annotate(plan).explain()

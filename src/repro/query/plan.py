@@ -283,6 +283,31 @@ class PartnerFilter(PlanNode):
         return f"PartnerFilter({self.table}, hasS={int(self.expect)})"
 
 
+@dataclass(frozen=True)
+class BloomProbe(PlanNode):
+    """Prune rows whose join keys cannot find a partner (predicate transfer).
+
+    Inserted over a scan (or its adjacent filters) by the predicate-transfer
+    scheduler; the actual Bloom filters travel in the annotation's
+    ``extra["bloom"]``, keeping the plan node itself immutable and hashable.
+    ``columns`` names the probed key columns and ``sources`` the scan
+    aliases whose keys built each filter (for EXPLAIN output).
+    """
+
+    child: PlanNode
+    columns: tuple[str, ...]
+    sources: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return (
+            f"BloomProbe([{', '.join(self.columns)}] "
+            f"<- {', '.join(self.sources)})"
+        )
+
+
 _COUNTER = itertools.count()
 
 

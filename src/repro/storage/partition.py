@@ -59,6 +59,17 @@ class Partition:
         self._columnar = None
         self._bitmap_lists = None
 
+    def invalidate_caches(self) -> None:
+        """Drop the derived columnar/bitmap caches.
+
+        Must be called after any in-place mutation of ``rows``,
+        ``source_ids``, ``dup`` or ``has_partner`` performed outside
+        :meth:`append` (bulk-load updates, deletes, hasS maintenance) —
+        otherwise scans keep serving the stale transpose.
+        """
+        self._columnar = None
+        self._bitmap_lists = None
+
     def columnar(self) -> list[list]:
         """The rows transposed into per-column value lists, cached.
 

@@ -1,0 +1,162 @@
+"""Partition cache staleness across incremental loads (regression).
+
+The engine caches each partition's columnar transpose and dup/hasS
+bitmap lists.  Bulk-load paths that mutate partition internals *without*
+appending — ``_mark_has_partner`` flipping hasS bits after
+referenced-side inserts, ``_rebuild_partition`` after deletes, in-place
+updates — must call :meth:`Partition.invalidate_caches`, otherwise a
+query that ran before the load keeps serving the stale transpose.
+
+The end-to-end tests drive the full ``SimulatedCluster`` path: query,
+incremental load, query again, and compare against a cluster built
+fresh from the final data.  The "teeth" test re-creates the pre-fix
+behaviour by stubbing ``invalidate_caches`` to a no-op and asserts the
+stale answer actually diverges — proving these regressions fail without
+the fix.
+"""
+
+from __future__ import annotations
+
+from helpers import assert_same_rows, shop_schema
+from repro.cluster import SimulatedCluster
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+)
+from repro.query import Query
+from repro.query.expressions import col, lit
+from repro.storage import Database
+from repro.storage.partition import Partition
+
+ORDERS = [  # (orderkey, custkey, total)
+    (1, 10, 5.0),
+    (2, 11, 7.0),
+    (3, 10, 9.0),
+    (4, 13, 2.0),
+]
+CUSTOMERS = [  # custkey 12 starts as an orphan: no order references it.
+    (10, "a", 0),
+    (11, "b", 0),
+    (12, "c", 0),
+    (13, "d", 0),
+]
+NEW_ORDERS = [(5, 12, 4.0), (6, 12, 6.0)]
+
+
+def _database(orders=ORDERS) -> Database:
+    database = Database(shop_schema())
+    database.load("customer", list(CUSTOMERS))
+    database.load("orders", [tuple(row) for row in orders])
+    return database
+
+
+def _config(n: int = 4) -> PartitioningConfig:
+    config = PartitioningConfig(n)
+    config.add("orders", HashScheme(("orderkey",), n))
+    config.add(
+        "customer",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+        ),
+    )
+    return config
+
+
+def _semi_join_plan():
+    # Answered through the hasS bitmap when optimizations are on — the
+    # query that reads the cached bitmap lists.
+    return (
+        Query.scan("customer", alias="c")
+        .semi_join(Query.scan("orders", alias="o"), on=[("c.custkey", "o.custkey")])
+        .select(["c.custkey", "c.cname"])
+        .plan()
+    )
+
+
+def _cluster(database: Database) -> SimulatedCluster:
+    return SimulatedCluster.partition(database, _config(), backend="serial")
+
+
+def _fresh_rows(orders, plan):
+    fresh = _cluster(_database(orders))
+    try:
+        return fresh.run(plan).rows
+    finally:
+        fresh.close()
+
+
+class TestIncrementalLoadInvalidation:
+    def test_has_partner_flip_reflected_after_load(self):
+        plan = _semi_join_plan()
+        cluster = _cluster(_database())
+        try:
+            before = cluster.run(plan).rows  # populates the bitmap caches
+            assert (12, "c") not in before
+            cluster.loader.load({"orders": NEW_ORDERS})
+            after = cluster.run(plan).rows
+        finally:
+            cluster.close()
+        assert (12, "c") in after
+        assert_same_rows(after, _fresh_rows(ORDERS + NEW_ORDERS, plan))
+
+    def test_delete_reflected_after_rebuild(self):
+        plan = (
+            Query.scan("orders", alias="o")
+            .aggregate(
+                aggregates=[("count", None, "cnt"), ("sum", col("o.total"), "t")]
+            )
+            .plan()
+        )
+        cluster = _cluster(_database())
+        try:
+            cluster.run(plan)  # populates the columnar caches
+            removed = cluster.loader.delete("orders", lambda row: row[0] == 2)
+            assert removed == 1
+            after = cluster.run(plan).rows
+        finally:
+            cluster.close()
+        survivors = [row for row in ORDERS if row[0] != 2]
+        assert_same_rows(after, _fresh_rows(survivors, plan))
+
+    def test_update_reflected_in_place(self):
+        plan = (
+            Query.scan("orders", alias="o")
+            .where(col("o.orderkey") == lit(1))
+            .select(["o.total"])
+            .plan()
+        )
+        cluster = _cluster(_database())
+        try:
+            assert cluster.run(plan).rows == [(5.0,)]
+            updated = cluster.loader.update(
+                "orders",
+                lambda row: row[0] == 1,
+                lambda row: (row[0], row[1], 99.0),
+            )
+            assert updated == 1
+            assert cluster.run(plan).rows == [(99.0,)]
+        finally:
+            cluster.close()
+
+
+class TestRegressionHasTeeth:
+    def test_stale_caches_diverge_without_the_fix(self, monkeypatch):
+        """With invalidate_caches() stubbed out (the pre-fix behaviour),
+        the hasS flip after a referenced-side load is invisible to the
+        cached bitmaps and the semi join returns a stale answer."""
+        monkeypatch.setattr(
+            Partition, "invalidate_caches", lambda self: None
+        )
+        plan = _semi_join_plan()
+        cluster = _cluster(_database())
+        try:
+            before = cluster.run(plan).rows
+            cluster.loader.load({"orders": NEW_ORDERS})
+            stale = cluster.run(plan).rows
+        finally:
+            cluster.close()
+        assert (12, "c") not in stale  # the newly partnered row is missing
+        assert sorted(stale) == sorted(before)
