@@ -1,0 +1,251 @@
+"""Sustained-QPS serving benchmark: concurrent server vs serialized loop.
+
+A mixed TPC-H read workload is replayed two ways over identical data:
+
+* **baseline** — one thread calling ``cluster.sql`` per request, the
+  pre-serving execution model (no admission, no caches, no concurrency);
+* **served** — N client sessions submitting the same request mix through
+  :class:`repro.serve.ClusterServer`, where repeats hit the result cache
+  and distinct statements share the plan cache.
+
+Every served answer is checked against the single-query reference rows,
+and a bulk load mid-run must flip the dependent answers (epoch
+invalidation at work).  Reported: QPS both ways, speedup, p50/p99
+latency from the server's metrics registry, and cache hit rates.
+
+Runs under pytest (``pytest benchmarks/bench_serving.py``) or standalone
+(``python benchmarks/bench_serving.py --smoke``), writing the same
+report to ``benchmarks/results/serving.txt``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.cluster import SimulatedCluster  # noqa: E402
+from repro.partitioning import (  # noqa: E402
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    ReplicatedScheme,
+)
+from repro.workloads.tpch import generate_tpch  # noqa: E402
+
+#: TPC-H scale / cluster size of the serving experiment.
+SERVING_SF = 0.005
+SMOKE_SF = 0.002
+NODES = 10
+CLIENTS = 4
+REQUESTS_PER_CLIENT = 25
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The read mix: repeated dashboard-style statements over the PREF
+#: layout — exactly the shape a result cache exists for.
+QUERIES = (
+    "SELECT COUNT(*) AS n FROM lineitem l",
+    (
+        "SELECT l.l_returnflag, SUM(l.l_extendedprice) AS revenue, "
+        "COUNT(*) AS n FROM lineitem l GROUP BY l.l_returnflag"
+    ),
+    "SELECT c.c_mktsegment, COUNT(*) AS n FROM customer c GROUP BY c.c_mktsegment",
+    (
+        "SELECT n.n_name, COUNT(*) AS c FROM customer c "
+        "JOIN nation n ON c.c_nationkey = n.n_nationkey GROUP BY n.n_name"
+    ),
+    (
+        "SELECT o.o_orderpriority, COUNT(*) AS n FROM orders o "
+        "WHERE o.o_totalprice > 1000.0 GROUP BY o.o_orderpriority"
+    ),
+    (
+        "SELECT SUM(l.l_extendedprice) AS rev FROM lineitem l "
+        "JOIN orders o ON l.l_orderkey = o.o_orderkey "
+        "WHERE o.o_totalprice > 500.0"
+    ),
+)
+
+
+def tpch_pref_config(n: int) -> PartitioningConfig:
+    """Orders-seeded PREF chain over the TPC-H schema."""
+    config = PartitioningConfig(n)
+    config.add("orders", HashScheme(("o_orderkey",), n))
+    config.add(
+        "lineitem",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("lineitem", "l_orderkey", "orders", "o_orderkey"),
+        ),
+    )
+    config.add(
+        "customer",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("customer", "c_custkey", "orders", "o_custkey"),
+        ),
+    )
+    config.add("part", HashScheme(("p_partkey",), n))
+    config.add(
+        "partsupp",
+        PrefScheme(
+            "part",
+            JoinPredicate.equi("partsupp", "ps_partkey", "part", "p_partkey"),
+        ),
+    )
+    for small in ("supplier", "nation", "region"):
+        config.add(small, ReplicatedScheme(n))
+    return config
+
+
+def _normalise(rows, places: int = 6) -> Counter:
+    return Counter(
+        tuple(
+            round(v, places) if isinstance(v, float) else v for v in row
+        )
+        for row in rows
+    )
+
+
+def run_serving_experiment(
+    scale: float = SERVING_SF,
+    clients: int = CLIENTS,
+    requests_per_client: int = REQUESTS_PER_CLIENT,
+) -> dict:
+    """Run baseline + served workloads; return the measurements."""
+    database = generate_tpch(scale_factor=scale, seed=1)
+    config = tpch_pref_config(NODES)
+    cluster = SimulatedCluster.partition(database, config)
+    total_requests = clients * requests_per_client
+    try:
+        # Reference answers, and a cache/partition warm-up for the
+        # baseline so the serialized loop is measured at steady state.
+        reference = {sql: cluster.sql(sql).rows for sql in QUERIES}
+
+        started = time.perf_counter()
+        for step in range(total_requests):
+            cluster.sql(QUERIES[step % len(QUERIES)])
+        baseline_seconds = time.perf_counter() - started
+        baseline_qps = total_requests / baseline_seconds
+
+        server = cluster.serve(max_inflight=clients, queue_depth=512)
+        mismatches: list[str] = []
+
+        def client(index: int) -> None:
+            session = server.session(f"client-{index}")
+            for step in range(requests_per_client):
+                sql = QUERIES[(index + step) % len(QUERIES)]
+                rows = session.execute(sql, timeout=120).rows
+                if _normalise(rows) != _normalise(reference[sql]):
+                    mismatches.append(sql)
+
+        threads = [
+            threading.Thread(target=client, args=(index,))
+            for index in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        served_seconds = time.perf_counter() - started
+        served_qps = total_requests / served_seconds
+
+        # Mid-workload write: the dependent cached answer must move, not
+        # be served stale, and the PREF closure must bump lineitem too.
+        orders_count_sql = "SELECT COUNT(*) AS n FROM orders o"
+        before = server.execute(orders_count_sql).rows[0][0]
+        server.insert(
+            "orders", [(10_000_000, 1, "O", 42.0, 100, "1-URGENT", 0)]
+        )
+        after = server.execute(orders_count_sql).rows[0][0]
+        invalidation_ok = after == before + 1
+        lineitem_epoch_bumped = server.epochs.current("lineitem") > 0
+        summary = server.metrics_summary()
+        server.close()
+    finally:
+        cluster.close()
+    return {
+        "scale": scale,
+        "clients": clients,
+        "requests": total_requests,
+        "baseline_qps": baseline_qps,
+        "served_qps": served_qps,
+        "speedup": served_qps / baseline_qps,
+        "mismatches": mismatches,
+        "invalidation_ok": invalidation_ok and lineitem_epoch_bumped,
+        "metrics": summary,
+    }
+
+
+def render_report(outcome: dict) -> str:
+    metrics = outcome["metrics"]
+    latency = metrics["latency"]
+    rows = [
+        ("baseline (serialized)", f"{outcome['baseline_qps']:.1f}", "-", "-", "-"),
+        (
+            f"served ({outcome['clients']} clients)",
+            f"{outcome['served_qps']:.1f}",
+            f"{latency['p50'] * 1000:.2f}",
+            f"{latency['p99'] * 1000:.2f}",
+            f"{metrics['result_cache']['hit_rate']:.1%}",
+        ),
+    ]
+    table = format_table(
+        ["mode", "QPS", "p50 (ms)", "p99 (ms)", "result-cache hits"],
+        rows,
+        title=(
+            f"Sustained QPS, TPC-H SF {outcome['scale']} / {NODES} nodes, "
+            f"{outcome['requests']} requests "
+            f"(speedup {outcome['speedup']:.1f}x)"
+        ),
+    )
+    plan = metrics["plan_cache"]
+    lines = [
+        table,
+        f"plan cache: hit_rate={plan['hit_rate']:.1%} "
+        f"invalidations={plan['invalidations']}",
+        f"result cache invalidations={metrics['result_cache']['invalidations']}",
+        f"answers identical to single-query execution: "
+        f"{'yes' if not outcome['mismatches'] else outcome['mismatches'][:3]}",
+        f"mid-workload load invalidates dependents: "
+        f"{'yes' if outcome['invalidation_ok'] else 'NO'}",
+    ]
+    return "\n".join(lines)
+
+
+def _check(outcome: dict) -> None:
+    assert not outcome["mismatches"], outcome["mismatches"][:3]
+    assert outcome["invalidation_ok"]
+    assert outcome["speedup"] >= 3.0, (
+        f"expected >=3x sustained QPS over the serialized baseline, got "
+        f"{outcome['speedup']:.2f}x"
+    )
+    assert outcome["metrics"]["latency"]["p99"] >= outcome["metrics"]["latency"]["p50"]
+
+
+def test_serving_qps(benchmark, report):
+    outcome = benchmark.pedantic(run_serving_experiment, rounds=1, iterations=1)
+    report("serving", render_report(outcome))
+    _check(outcome)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    outcome = run_serving_experiment(scale=SMOKE_SF if smoke else SERVING_SF)
+    text = render_report(outcome)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serving.txt").write_text(text + "\n")
+    print(text)
+    _check(outcome)
+    print("serving benchmark: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

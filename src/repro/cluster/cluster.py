@@ -21,6 +21,8 @@ across all backends by construction (the equivalence suite pins this).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cluster.node import NodeReport
 from repro.engine.backends import Backend, ThreadPoolBackend, make_backend
 from repro.engine.rows import DEFAULT_BATCH_SIZE
@@ -33,6 +35,9 @@ from repro.query.plan import PlanNode
 from repro.sql.planner import sql_to_plan
 from repro.storage.partitioned import PartitionedDatabase
 from repro.storage.table import Database
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serve.server import ClusterServer
 
 
 def _text_result(lines: list[str]) -> QueryResult:
@@ -197,6 +202,24 @@ class SimulatedCluster:
     def simulated_seconds(self, plan: PlanNode) -> float:
         """Execute *plan* and return its simulated runtime."""
         return self.run(plan).simulated_seconds(self.cost)
+
+    def serve(self, **options) -> "ClusterServer":
+        """A started :class:`~repro.serve.ClusterServer` over this cluster.
+
+        Keyword options are forwarded (``max_inflight``, ``queue_depth``,
+        ``queue_timeout``, ``plan_cache_size``, ``result_cache_size``,
+        ``metrics``).  Use as a context manager::
+
+            with cluster.serve(queue_depth=64) as server:
+                ticket = server.submit("SELECT ...")
+
+        While serving, route bulk loads through ``server.load`` (not
+        ``cluster.loader``) so epochs bump and dependent cache entries
+        drop.
+        """
+        from repro.serve.server import ClusterServer
+
+        return ClusterServer(self, **options).start()
 
     def close(self) -> None:
         """Release the engine backend's scheduler resources."""

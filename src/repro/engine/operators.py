@@ -1149,24 +1149,49 @@ class PhysicalAggregate(PhysicalOperator):
         return ColumnBatch.from_rows(rows, self.width)
 
     def _partial_states(self, batch: ColumnBatch) -> dict[tuple, list]:
+        """Columnar partial aggregation: group, then accumulate per column.
+
+        One pass collects each group's row indices in ascending order;
+        each (group, aggregate) pair then folds its whole value column
+        through one ``add_many`` call.  The per-accumulator fold order is
+        identical to the historical per-row loop — ascending row index
+        within each group — so float partials (and therefore the
+        row-engine golden traces) are bit-identical; only the per-row
+        virtual dispatch across every aggregate disappears.
+        """
         agg_fns = self.agg_fns
-        if self.single_key:
-            keys = batch.columns[self.group_positions[0]]
-        else:
-            keys = batch.key_tuples(self.group_positions)
-        # Kernels produce whole value columns; accumulation then walks
-        # them in row order, which float sums require for bit equality.
+        # Kernels produce whole value columns; None marks the COUNT(*)
+        # sentinel (no argument expression).
         value_columns = [
             fn(batch) if fn is not None else None for _spec, fn in agg_fns
         ]
+        length = batch.length
+        if not self.group_positions:
+            # Scalar aggregate: one group over every row, no key pass.
+            group_rows: dict[tuple, object] = (
+                {(): range(length)} if length else {}
+            )
+        else:
+            if self.single_key:
+                keys = batch.columns[self.group_positions[0]]
+            else:
+                keys = batch.key_tuples(self.group_positions)
+            group_rows = {}
+            for index, key in enumerate(keys):
+                rows = group_rows.get(key)
+                if rows is None:
+                    group_rows[key] = [index]
+                else:
+                    rows.append(index)
         groups: dict[tuple, list] = {}
-        for i, key in enumerate(keys):
-            accs = groups.get(key)
-            if accs is None:
-                accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
-                groups[key] = accs
+        for key, rows in group_rows.items():
+            accs = [make_accumulator(spec.func) for spec, _ in agg_fns]
+            groups[key] = accs
             for acc, column in zip(accs, value_columns):
-                acc.add(1 if column is None else column[i])
+                if column is None:
+                    acc.add_count(len(rows))
+                else:
+                    acc.add_many(column, rows)
         return groups
 
     # -- two-phase ---------------------------------------------------------

@@ -71,3 +71,15 @@ class SqlSyntaxError(SqlError):
 
 class DesignError(ReproError):
     """An automated partitioning-design algorithm received invalid input."""
+
+
+class ServeError(ReproError):
+    """The concurrent query-serving layer rejected or failed a request."""
+
+
+class AdmissionError(ServeError):
+    """Admission control refused the query (queue full or server closed)."""
+
+
+class QueryTimeoutError(ServeError):
+    """The query exceeded its admission deadline before a worker ran it."""

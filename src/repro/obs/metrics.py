@@ -39,6 +39,19 @@ TIME_BUCKETS: tuple[float, ...] = (
     0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, float("inf"),
 )
 
+#: Finer-grained buckets for per-query serving latency, in seconds: the
+#: serving layer's p50/p99 estimates come from these, so they resolve the
+#: sub-millisecond cache-hit regime and the multi-second tail separately.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0002, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, float("inf"),
+)
+
+#: Buckets for queue-depth samples (small-integer distribution).
+DEPTH_BUCKETS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, float("inf"),
+)
+
 #: Metric-name prefix whose values are wall-clock measurements and must
 #: be excluded from cross-backend comparisons.
 TIMING_PREFIX = "time."
@@ -80,6 +93,32 @@ class Histogram:
     def canonical(self) -> tuple:
         """Comparable form: buckets and counts, no float totals."""
         return (self.name, self.buckets, tuple(self.counts), self.count)
+
+    def quantile(self, q: float) -> float:
+        """Estimated *q*-quantile (0 < q <= 1) from the bucket counts.
+
+        Returns the upper bound of the bucket the quantile rank falls
+        into — a conservative (over-)estimate, the usual convention for
+        fixed-bucket histograms.  When the rank lands in the open-ended
+        final bucket, the largest finite boundary is returned instead (an
+        under-estimate; the histogram cannot resolve beyond its range).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                bound = self.buckets[index]
+                if bound == float("inf"):
+                    finite = [b for b in self.buckets if b != float("inf")]
+                    return finite[-1] if finite else 0.0
+                return bound
+        return 0.0  # pragma: no cover - cumulative always reaches count
 
     def as_dict(self) -> dict:
         return {

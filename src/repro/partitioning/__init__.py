@@ -21,7 +21,9 @@ from repro.partitioning.scheme import (
     ReplicatedScheme,
     RoundRobinScheme,
     SchemeKind,
+    set_string_hash_cache_capacity,
     stable_hash,
+    string_hash_cache_info,
 )
 
 __all__ = [
@@ -46,6 +48,8 @@ __all__ = [
     "partition_database",
     "plan_migration",
     "per_table_redundancy",
+    "set_string_hash_cache_capacity",
     "stable_hash",
+    "string_hash_cache_info",
     "storage_per_node",
 ]

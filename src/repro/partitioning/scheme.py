@@ -162,8 +162,57 @@ PartitioningScheme = (
 
 SeedScheme = HashScheme | RangeScheme | RoundRobinScheme
 
-#: Memo for :func:`stable_hash` over strings (bounded; see below).
+#: Per-generation capacity of the :func:`stable_hash` string memo.  The
+#: memo keeps at most two generations resident (hot + previous), so the
+#: worst-case footprint is ``2 * _STRING_HASH_CAPACITY`` entries — a hard
+#: bound that sustained serving workloads with unbounded distinct strings
+#: (e.g. streaming inserts of fresh comment text) cannot leak past.
+_STRING_HASH_CAPACITY = 1 << 16
+
+#: Hot generation of the memo: recently used strings.
 _STRING_HASHES: dict[str, int] = {}
+#: Previous generation: demoted on rotation, re-promoted on hit.  This
+#: segmented (2Q-style) scheme approximates LRU with O(1) lookups and no
+#: per-hit reordering: when the hot dict fills, it *becomes* the cold
+#: dict and a fresh hot dict starts; anything in the cold generation that
+#: is touched again moves back to hot, anything untouched is dropped
+#: wholesale on the next rotation.
+_STRING_HASHES_COLD: dict[str, int] = {}
+
+
+def set_string_hash_cache_capacity(capacity: int) -> None:
+    """Resize (and clear) the string-hash memo; mainly for tests.
+
+    ``capacity`` bounds each of the two generations; 0 disables memoising
+    entirely.
+    """
+    global _STRING_HASH_CAPACITY, _STRING_HASHES, _STRING_HASHES_COLD
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    _STRING_HASH_CAPACITY = capacity
+    _STRING_HASHES = {}
+    _STRING_HASHES_COLD = {}
+
+
+def string_hash_cache_info() -> dict:
+    """Sizes and bound of the string-hash memo (for tests/diagnostics)."""
+    return {
+        "capacity": _STRING_HASH_CAPACITY,
+        "hot": len(_STRING_HASHES),
+        "cold": len(_STRING_HASHES_COLD),
+        "resident": len(_STRING_HASHES) + len(_STRING_HASHES_COLD),
+    }
+
+
+def _memoise_string_hash(key: str, value: int) -> None:
+    """Insert into the hot generation, rotating generations when full."""
+    global _STRING_HASHES, _STRING_HASHES_COLD
+    if _STRING_HASH_CAPACITY == 0:
+        return
+    if len(_STRING_HASHES) >= _STRING_HASH_CAPACITY:
+        _STRING_HASHES_COLD = _STRING_HASHES
+        _STRING_HASHES = {}
+    _STRING_HASHES[key] = value
 
 
 def stable_hash(key: object) -> int:
@@ -189,6 +238,12 @@ def stable_hash(key: object) -> int:
         cached = _STRING_HASHES.get(key)
         if cached is not None:
             return cached
+        cached = _STRING_HASHES_COLD.get(key)
+        if cached is not None:
+            # Promote: a hit in the previous generation re-enters hot, so
+            # frequently probed strings survive rotations.
+            _memoise_string_hash(key, cached)
+            return cached
         value = 0xCBF29CE484222325
         for char in key:
             value = ((value ^ ord(char)) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
@@ -196,8 +251,7 @@ def stable_hash(key: object) -> int:
         # Pure function of the string: memoising is observation-free.
         # Only strings enter this table, so no cross-type key collisions
         # (the int/bool branches never consult it).
-        if len(_STRING_HASHES) < 1 << 20:
-            _STRING_HASHES[key] = value
+        _memoise_string_hash(key, value)
         return value
     if isinstance(key, bool):
         return int(key)

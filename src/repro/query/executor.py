@@ -155,8 +155,17 @@ class Executor:
         self.predicate_transfer = bool(predicate_transfer)
         self.bloom_fpr = float(bloom_fpr)
 
-    def _annotate(self, plan: PlanNode) -> Annotated:
-        """Rewrite *plan* and apply predicate transfer when enabled."""
+    def annotate(self, plan: PlanNode) -> Annotated:
+        """Rewrite *plan* and apply predicate transfer when enabled.
+
+        The returned annotated plan is immutable as far as execution is
+        concerned: :func:`~repro.engine.compile.compile_plan` only reads
+        it, so one annotated plan may back many (even concurrent)
+        executions — the serving layer's plan cache relies on this.  With
+        predicate transfer enabled the annotation embeds Bloom filters
+        built from the *current* table contents, so a cached annotated
+        plan must be dropped when its tables change (epoch invalidation).
+        """
         annotated = self.rewriter.rewrite(plan)
         if self.predicate_transfer:
             from repro.query.predicate_transfer import apply_predicate_transfer
@@ -165,6 +174,9 @@ class Executor:
                 annotated, self.partitioned, self.bloom_fpr
             )
         return annotated
+
+    # Backwards-compatible private alias (pre-serving-layer name).
+    _annotate = annotate
 
     def execute(
         self, plan: PlanNode, analyze: bool = False, query_name: str | None = None
@@ -175,12 +187,26 @@ class Executor:
         :class:`~repro.obs.span.QueryTrace` (``result.explain_analyze()``
         renders it); any user trace hook still receives every event.
         """
+        return self.execute_annotated(
+            self.annotate(plan), analyze=analyze, query_name=query_name
+        )
+
+    def execute_annotated(
+        self,
+        annotated: Annotated,
+        analyze: bool = False,
+        query_name: str | None = None,
+    ) -> QueryResult:
+        """Compile and run an already-annotated plan on the backend.
+
+        Split out of :meth:`execute` so the serving layer's plan cache
+        can pay the rewrite once and re-execute the cached annotation.
+        """
         # Deferred import: the compiler pulls in the whole operator set,
         # whose modules import repro.query submodules; importing it at
         # call time keeps every package-first import order working.
         from repro.engine.compile import compile_plan
 
-        annotated = self._annotate(plan)
         root = compile_plan(
             annotated, self.partitioned, batch_size=self.batch_size
         )
@@ -237,4 +263,4 @@ class Executor:
 
     def explain(self, plan: PlanNode) -> str:
         """The annotated physical plan for *plan*, as text."""
-        return self._annotate(plan).explain()
+        return self.annotate(plan).explain()

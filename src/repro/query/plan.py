@@ -314,3 +314,16 @@ _COUNTER = itertools.count()
 def fresh_name(prefix: str) -> str:
     """Generate a unique column/operator name (for rewriter internals)."""
     return f"{prefix}#{next(_COUNTER)}"
+
+
+def referenced_tables(plan: PlanNode) -> frozenset[str]:
+    """Base-table names a plan reads, from its :class:`Scan` leaves.
+
+    The serving layer keys cache-invalidation dependencies on this set:
+    a cached plan or result is stale once any of these tables' epochs
+    move.  :class:`BloomProbe` sources are already covered — a probe's
+    filter is built from tables that appear as scans elsewhere in the
+    same plan."""
+    return frozenset(
+        node.table for node in plan.walk() if isinstance(node, Scan)
+    )

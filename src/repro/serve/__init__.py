@@ -1,0 +1,33 @@
+"""repro.serve — the concurrent query-serving layer.
+
+A thread-based server front end over :class:`~repro.cluster.SimulatedCluster`:
+sessions for concurrent SQL submission, bounded-queue admission control,
+a plan cache keyed on normalised SQL, and an epoch-invalidated result
+cache.  See :mod:`repro.serve.server` for the architecture overview.
+"""
+
+from repro.errors import AdmissionError, QueryTimeoutError, ServeError
+from repro.serve.admission import ReadWriteLock, Ticket
+from repro.serve.caches import CacheStats, TableDependentCache
+from repro.serve.epochs import EpochTracker
+from repro.serve.server import (
+    DEFAULT_QUEUE_DEPTH,
+    ClusterServer,
+    Session,
+)
+from repro.serve.sqlnorm import normalize_sql
+
+__all__ = [
+    "AdmissionError",
+    "CacheStats",
+    "ClusterServer",
+    "DEFAULT_QUEUE_DEPTH",
+    "EpochTracker",
+    "QueryTimeoutError",
+    "ReadWriteLock",
+    "ServeError",
+    "Session",
+    "TableDependentCache",
+    "Ticket",
+    "normalize_sql",
+]

@@ -1,0 +1,138 @@
+"""Admission-control primitives: tickets and the readers-writer lock.
+
+The server applies *queue-based load leveling*: a bounded FIFO queue in
+front of a fixed pool of executor workers sized to the engine backend.
+Overflow is rejected at submit time (fail fast, callers can back off);
+queued work carries an optional deadline and is rejected — not run — if
+no worker picks it up in time, so a backed-up server sheds load instead
+of serving arbitrarily stale latencies.
+
+Queries run under the read side of a writer-priority readers-writer
+lock; bulk loads, updates and migrations take the write side.  That
+gives every query a stable snapshot (partition caches and epochs cannot
+move mid-query) without serialising reads against each other.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.errors import ServeError
+from repro.query.executor import QueryResult
+
+
+class Ticket:
+    """A submitted query: a one-shot future the server completes.
+
+    Attributes (populated on completion):
+        cache_hit: ``"result"``, ``"plan"``, or None — which cache
+            served the query.
+        queue_wait: Seconds spent queued before a worker picked it up.
+        service_seconds: Seconds spent executing (0.0 for cache hits
+            and rejected queries).
+        latency: Submit-to-completion wall clock, in seconds.
+    """
+
+    def __init__(
+        self,
+        query_id: int,
+        session_id: int,
+        query: object,
+        analyze: bool = False,
+        query_name: str | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        self.query_id = query_id
+        self.session_id = session_id
+        self.query = query
+        self.analyze = analyze
+        self.query_name = query_name
+        self.submitted_at = time.monotonic()
+        self.deadline = deadline
+        self.cache_hit: str | None = None
+        self.queue_wait = 0.0
+        self.service_seconds = 0.0
+        self.latency = 0.0
+        self.error: BaseException | None = None
+        self._result: QueryResult | None = None
+        self._done = threading.Event()
+
+    def done(self) -> bool:
+        """True once the server completed (or rejected) this query."""
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> QueryResult:
+        """Block until completion and return the result.
+
+        Raises:
+            ServeError: If the query was rejected, timed out in the
+                queue, or *timeout* elapsed before completion.
+            Exception: Whatever the executor raised, re-raised here.
+        """
+        if not self._done.wait(timeout):
+            raise ServeError(
+                f"query {self.query_id} not completed within {timeout}s"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self._result is not None
+        return self._result
+
+    def _complete(
+        self,
+        result: QueryResult | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        self._result = result
+        self.error = error
+        self.latency = time.monotonic() - self.submitted_at
+        self._done.set()
+
+
+class ReadWriteLock:
+    """A writer-priority readers-writer lock.
+
+    Many readers (queries) may hold the lock concurrently; a writer
+    (bulk load / migration) waits for readers to drain and excludes
+    everything.  Waiting writers block new readers, so a steady query
+    stream cannot starve writes.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()

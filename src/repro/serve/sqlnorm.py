@@ -1,0 +1,39 @@
+"""SQL text normalisation for the serving layer's cache keys.
+
+Two submissions of the "same" query rarely arrive byte-identical: clients
+vary whitespace, line breaks and keyword capitalisation.  The plan and
+result caches key on a canonical rendering of the *token stream* instead
+of the raw text, so those cosmetic differences collapse onto one cache
+entry while anything semantically distinct (different literals, different
+identifiers) stays distinct.
+
+The lexer already lowercases keywords; identifiers keep their case
+because the planner resolves them case-sensitively.  String literals are
+re-quoted and numbers keep their source spelling — ``1.50`` and ``1.5``
+are different keys, which only costs a duplicate cache entry, never a
+wrong answer.
+"""
+
+from __future__ import annotations
+
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def _render(token: Token) -> str:
+    if token.type is TokenType.STRING:
+        return f"'{token.value}'"
+    return token.value
+
+
+def normalize_sql(text: str) -> str:
+    """The canonical cache key of *text* (whitespace/case-insensitive).
+
+    Raises:
+        SqlSyntaxError: If the text cannot be tokenised; callers should
+            let the parse path report the error instead of caching it.
+    """
+    return " ".join(
+        _render(token)
+        for token in tokenize(text)
+        if token.type is not TokenType.END
+    )

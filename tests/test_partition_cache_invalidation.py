@@ -160,3 +160,89 @@ class TestRegressionHasTeeth:
             cluster.close()
         assert (12, "c") not in stale  # the newly partnered row is missing
         assert sorted(stale) == sorted(before)
+
+
+SEMI_JOIN_SQL = (
+    "SELECT c.custkey, c.cname FROM customer c WHERE EXISTS "
+    "(SELECT * FROM orders o WHERE o.custkey = c.custkey)"
+)
+
+
+class TestServingLayerInvalidation:
+    """The same staleness discipline one layer up: the serving caches.
+
+    A result served from the cache after a bulk load must be
+    indistinguishable from a cluster built fresh from the final data —
+    the serving-layer analogue of the partition-cache tests above.
+    """
+
+    def test_result_cache_invalidated_by_referenced_side_load(self):
+        cluster = _cluster(_database())
+        server = cluster.serve(max_inflight=2)
+        try:
+            before = server.execute(SEMI_JOIN_SQL)
+            assert (12, "c") not in before.rows
+            # Cached now: a repeat submission is served from the cache.
+            repeat = server.submit(SEMI_JOIN_SQL)
+            repeat.result()
+            assert repeat.cache_hit == "result"
+            server.load({"orders": NEW_ORDERS})
+            after = server.execute(SEMI_JOIN_SQL)
+        finally:
+            server.close()
+            cluster.close()
+        assert (12, "c") in after.rows
+        plan = _semi_join_plan()
+        assert_same_rows(after.rows, _fresh_rows(ORDERS + NEW_ORDERS, plan))
+
+    def test_plan_cache_invalidated_under_predicate_transfer(self):
+        """With predicate transfer on, cached annotations embed Bloom
+        filters built from table contents; a load must drop the cached
+        plan too, or re-execution filters through stale Blooms."""
+        cluster = SimulatedCluster.partition(
+            _database(), _config(), backend="serial", predicate_transfer=True
+        )
+        server = cluster.serve(max_inflight=1)
+        join_sql = (
+            "SELECT c.cname, o.total FROM customer c "
+            "JOIN orders o ON c.custkey = o.custkey"
+        )
+        try:
+            server.execute(join_sql)  # caches plan + Bloom annotations
+            server.load({"orders": NEW_ORDERS})
+            assert len(server.plan_cache) == 0  # the annotation was dropped
+            after = server.execute(join_sql)
+        finally:
+            server.close()
+            cluster.close()
+        fresh = SimulatedCluster.partition(
+            _database(ORDERS + NEW_ORDERS),
+            _config(),
+            backend="serial",
+            predicate_transfer=True,
+        )
+        try:
+            assert_same_rows(after.rows, fresh.sql(join_sql).rows)
+        finally:
+            fresh.close()
+
+    def test_delete_and_update_bump_epochs(self):
+        count_sql = "SELECT COUNT(*) AS n FROM orders o"
+        sum_sql = "SELECT SUM(o.total) AS t FROM orders o"
+        cluster = _cluster(_database())
+        server = cluster.serve(max_inflight=1)
+        try:
+            assert server.execute(count_sql).rows == [(4,)]
+            server.delete("orders", lambda row: row[0] == 2)
+            assert server.execute(count_sql).rows == [(3,)]
+            before_total = server.execute(sum_sql).rows[0][0]
+            server.update(
+                "orders",
+                lambda row: row[0] == 1,
+                lambda row: (row[0], row[1], row[2] + 100.0),
+            )
+            after_total = server.execute(sum_sql).rows[0][0]
+            assert after_total == before_total + 100.0
+        finally:
+            server.close()
+            cluster.close()

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
+import repro.partitioning.scheme as _scheme_module
 from repro.errors import PartitioningError
 from repro.partitioning import (
     HashScheme,
@@ -13,7 +14,9 @@ from repro.partitioning import (
     ReplicatedScheme,
     RoundRobinScheme,
     SchemeKind,
+    set_string_hash_cache_capacity,
     stable_hash,
+    string_hash_cache_info,
 )
 
 
@@ -116,3 +119,72 @@ class TestStableHash:
     @given(st.integers(min_value=0, max_value=10**6))
     def test_spread_over_partitions(self, value):
         assert 0 <= stable_hash(value) % 16 < 16
+
+
+class TestStringHashCacheBound:
+    """The string memo inside stable_hash is bounded (segmented LRU)."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_capacity(self):
+        yield
+        set_string_hash_cache_capacity(1 << 16)
+
+    def test_residency_never_exceeds_two_generations(self):
+        set_string_hash_cache_capacity(8)
+        for index in range(100):
+            stable_hash(f"key-{index}")
+        info = string_hash_cache_info()
+        assert info["capacity"] == 8
+        assert info["resident"] <= 2 * 8
+        # Hashes stay correct whether or not the memo retained them.
+        assert stable_hash("key-0") == stable_hash("key-" + "0")
+
+    def test_eviction_drops_cold_untouched_strings(self):
+        set_string_hash_cache_capacity(4)
+        for index in range(4):
+            stable_hash(f"gen1-{index}")  # fills hot
+        stable_hash("gen2-0")  # rotates: gen1 becomes the cold generation
+        for index in range(1, 4):
+            stable_hash(f"gen2-{index}")  # fills hot again
+        stable_hash("gen3-0")  # second rotation: untouched gen1 dropped
+        info = string_hash_cache_info()
+        assert info["resident"] <= 8
+        assert all(
+            f"gen1-{index}" not in _scheme_module._STRING_HASHES
+            and f"gen1-{index}" not in _scheme_module._STRING_HASHES_COLD
+            for index in range(4)
+        )
+
+    def test_promotion_on_cold_hit_survives_rotation(self):
+        set_string_hash_cache_capacity(4)
+        for index in range(4):
+            stable_hash(f"a-{index}")  # hot generation A
+        stable_hash("b-0")  # rotate: A demoted to cold
+        survivor = stable_hash("a-0")  # cold hit: promoted back to hot
+        for index in range(1, 4):
+            stable_hash(f"b-{index}")
+        stable_hash("c-0")  # rotate again: unpromoted A entries die
+        assert "a-0" in _scheme_module._STRING_HASHES_COLD
+        assert "a-1" not in _scheme_module._STRING_HASHES
+        assert "a-1" not in _scheme_module._STRING_HASHES_COLD
+        assert stable_hash("a-0") == survivor
+
+    def test_zero_capacity_disables_memoisation(self):
+        set_string_hash_cache_capacity(0)
+        value = stable_hash("nothing-retained")
+        info = string_hash_cache_info()
+        assert info["resident"] == 0
+        assert stable_hash("nothing-retained") == value
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            set_string_hash_cache_capacity(-1)
+
+    def test_partitioning_unchanged_by_capacity(self):
+        keys = [f"customer-{index}" for index in range(64)]
+        set_string_hash_cache_capacity(1 << 16)
+        reference = [stable_hash(key) % 7 for key in keys]
+        set_string_hash_cache_capacity(3)
+        assert [stable_hash(key) % 7 for key in keys] == reference
+        set_string_hash_cache_capacity(0)
+        assert [stable_hash(key) % 7 for key in keys] == reference

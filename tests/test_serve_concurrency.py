@@ -1,0 +1,238 @@
+"""Concurrency stress for the serving layer.
+
+Correctness bar: anything the server returns under concurrency must be
+byte-identical (float-tolerant for reordered sums) to the same query run
+alone on the same data.  Reads race reads, reads race writes; the
+writer-priority RW lock plus epoch invalidation must keep every answer
+a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from helpers import assert_same_rows, normalise_rows, shop_database
+from repro.cluster import SimulatedCluster
+from repro.partitioning import (
+    HashScheme,
+    JoinPredicate,
+    PartitioningConfig,
+    PrefScheme,
+    ReplicatedScheme,
+)
+
+QUERIES = [
+    "SELECT COUNT(*) AS n FROM orders o",
+    "SELECT SUM(o.total) AS t FROM orders o",
+    (
+        "SELECT c.cname, SUM(o.total) AS spent FROM customer c "
+        "JOIN orders o ON c.custkey = o.custkey GROUP BY c.cname"
+    ),
+    (
+        "SELECT c.custkey, c.cname FROM customer c WHERE EXISTS "
+        "(SELECT * FROM orders o WHERE o.custkey = c.custkey)"
+    ),
+    "SELECT o.orderkey, o.total FROM orders o WHERE o.total > 50.0",
+    (
+        "SELECT n.nname, COUNT(*) AS c FROM customer cu "
+        "JOIN nation n ON cu.nationkey = n.nationkey GROUP BY n.nname"
+    ),
+]
+
+
+def _config(n: int = 4) -> PartitioningConfig:
+    config = PartitioningConfig(n)
+    config.add("orders", HashScheme(("orderkey",), n))
+    config.add(
+        "customer",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+        ),
+    )
+    config.add(
+        "lineitem",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey"),
+        ),
+    )
+    config.add("item", HashScheme(("itemkey",), n))
+    config.add("nation", ReplicatedScheme(n))
+    return config
+
+
+def _run_threads(workers):
+    threads = [threading.Thread(target=worker) for worker in workers]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestConcurrentReads:
+    def test_n_threads_m_queries_backend_identical(self):
+        """8 threads x 12 queries each: every concurrent answer equals
+        the single-query answer computed serially beforehand."""
+        cluster = SimulatedCluster.partition(shop_database(seed=11), _config())
+        reference = {sql: cluster.sql(sql).rows for sql in QUERIES}
+        server = cluster.serve(max_inflight=4, queue_depth=256)
+        failures: list[str] = []
+        threads_n, per_thread = 8, 12
+
+        def reader(index: int):
+            session = server.session(f"reader-{index}")
+            for step in range(per_thread):
+                sql = QUERIES[(index + step) % len(QUERIES)]
+                try:
+                    rows = session.execute(sql, timeout=60).rows
+                except Exception as error:  # noqa: BLE001 - collected
+                    failures.append(f"{sql!r}: {error!r}")
+                    continue
+                if normalise_rows(rows) != normalise_rows(reference[sql]):
+                    failures.append(f"{sql!r}: diverged under concurrency")
+
+        try:
+            _run_threads(
+                [lambda i=i: reader(i) for i in range(threads_n)]
+            )
+        finally:
+            server.close()
+            cluster.close()
+        assert not failures, failures[:5]
+        summary = server.metrics_summary()
+        assert summary["completed"] == threads_n * per_thread
+        assert summary["errors"] == 0
+        # The workload repeats 6 queries 96 times: the result cache must
+        # have absorbed most of it (first touches and concurrent first
+        # touches miss; everything else hits).
+        assert summary["result_cache"]["hits"] >= summary["completed"] // 2
+
+    def test_concurrent_sessions_share_plan_cache(self):
+        cluster = SimulatedCluster.partition(shop_database(seed=11), _config())
+        server = cluster.serve(max_inflight=4, result_cache_size=0)
+        sql = QUERIES[2]
+
+        def reader():
+            for _ in range(5):
+                server.execute(sql, timeout=60)
+
+        try:
+            _run_threads([reader for _ in range(4)])
+            stats = server.plan_cache.stats
+            # One thread plans it (a race may plan it twice); the rest hit.
+            assert stats.hits >= 4 * 5 - 2
+            assert len(server.plan_cache) == 1
+        finally:
+            server.close()
+            cluster.close()
+
+
+class TestInterleavedWrites:
+    def test_counts_are_consistent_snapshots_under_writes(self):
+        """Readers hammer COUNT(*) while a writer inserts one order at a
+        time.  Every observed count must be a value some prefix of the
+        insert sequence produces — never a torn or stale read — and the
+        final state must equal a cluster built fresh from the final data."""
+        base_rows = 60
+        inserts = 12
+        count_sql = "SELECT COUNT(*) AS n FROM orders o"
+        cluster = SimulatedCluster.partition(shop_database(seed=11), _config())
+        server = cluster.serve(max_inflight=4, queue_depth=256)
+        observed: list[int] = []
+        observed_lock = threading.Lock()
+        failures: list[str] = []
+        stop = threading.Event()
+        new_rows = [
+            (9000 + k, k % 20, float(k)) for k in range(inserts)
+        ]
+
+        def writer():
+            try:
+                for row in new_rows:
+                    server.insert("orders", [row])
+            finally:
+                stop.set()
+
+        def reader(index: int):
+            session = server.session(f"reader-{index}")
+            while True:
+                finished = stop.is_set()
+                try:
+                    (count,), = session.execute(count_sql, timeout=60).rows
+                except Exception as error:  # noqa: BLE001 - collected
+                    failures.append(repr(error))
+                    return
+                with observed_lock:
+                    observed.append(count)
+                if finished:
+                    return
+
+        try:
+            _run_threads([writer] + [lambda i=i: reader(i) for i in range(4)])
+            final = server.execute(count_sql).rows
+            served = {sql: server.execute(sql).rows for sql in QUERIES}
+        finally:
+            server.close()
+            cluster.close()
+        assert not failures, failures[:3]
+        valid = {base_rows + k for k in range(inserts + 1)}
+        assert set(observed) <= valid, sorted(set(observed) - valid)
+        assert final == [(base_rows + inserts,)]
+        # Last reads ran after the final insert: the tail must be fresh.
+        assert observed[-1] == base_rows + inserts
+        fresh_db = shop_database(seed=11)
+        fresh_db.load("orders", new_rows)
+        fresh = SimulatedCluster.partition(fresh_db, _config())
+        try:
+            for sql, rows in served.items():
+                assert_same_rows(rows, fresh.sql(sql).rows)
+        finally:
+            fresh.close()
+
+    def test_mixed_read_write_workload_ends_consistent(self):
+        """Readers run the whole query mix while two writers interleave
+        inserts into different tables; afterwards every query must match
+        a fresh cluster over the final data."""
+        cluster = SimulatedCluster.partition(shop_database(seed=13), _config())
+        server = cluster.serve(max_inflight=4, queue_depth=256)
+        failures: list[str] = []
+        order_rows = [(9100 + k, k % 20, 10.0 * k) for k in range(6)]
+        item_rows = [(9100 + k, f"item{9100 + k}") for k in range(6)]
+
+        def order_writer():
+            for row in order_rows:
+                server.insert("orders", [row])
+
+        def item_writer():
+            for row in item_rows:
+                server.insert("item", [row])
+
+        def reader(index: int):
+            session = server.session(f"mixed-{index}")
+            for step in range(10):
+                sql = QUERIES[(index + step) % len(QUERIES)]
+                try:
+                    session.execute(sql, timeout=60)
+                except Exception as error:  # noqa: BLE001 - collected
+                    failures.append(repr(error))
+
+        try:
+            _run_threads(
+                [order_writer, item_writer]
+                + [lambda i=i: reader(i) for i in range(4)]
+            )
+            served = {sql: server.execute(sql).rows for sql in QUERIES}
+        finally:
+            server.close()
+            cluster.close()
+        assert not failures, failures[:3]
+        fresh_db = shop_database(seed=13)
+        fresh_db.load("orders", order_rows)
+        fresh_db.load("item", item_rows)
+        fresh = SimulatedCluster.partition(fresh_db, _config())
+        try:
+            for sql, rows in served.items():
+                assert_same_rows(rows, fresh.sql(sql).rows)
+        finally:
+            fresh.close()
