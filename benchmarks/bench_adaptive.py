@@ -1,0 +1,331 @@
+"""Adaptive repartitioning benchmark: detect -> recommend -> migrate.
+
+A skewed star-join workload runs against a hash/hash layout where every
+join must shuffle both sides.  The adaptive loop then closes the gap
+online, with the server still up:
+
+* :func:`repro.partitioning.detect_hotspots` reads the query traces and
+  flags ``fact`` for its measured remote fraction (and skewed shuffle);
+* :func:`repro.partitioning.recommend_patched_pref` turns the hottest
+  join into a patched-PREF design: ``fact`` co-partitioned with ``dim``
+  on the join key, per-tuple duplication capped at ``MAX_COPIES`` and
+  overflow copies routed to the patch lists (serviced by the residual
+  shuffle at scan time);
+* ``server.migrate`` applies it under the write lock, so concurrent
+  readers never see a half-migrated store.
+
+The same workload replays afterwards; answers must be identical and the
+measured remote-bytes fraction must drop by at least 30%, with stored
+duplication bounded at ``MAX_COPIES`` and a nonzero patch list proving
+the cap actually bound.
+
+Runs under pytest (``pytest benchmarks/bench_adaptive.py``) or standalone
+(``python benchmarks/bench_adaptive.py --smoke``), writing the report to
+``benchmarks/results/adaptive.txt``.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from collections import Counter
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench import format_table  # noqa: E402
+from repro.catalog import DatabaseSchema, DataType  # noqa: E402
+from repro.cluster import SimulatedCluster  # noqa: E402
+from repro.partitioning import (  # noqa: E402
+    AdaptiveThresholds,
+    HashScheme,
+    PartitioningConfig,
+    detect_hotspots,
+    recommend_patched_pref,
+)
+from repro.storage import Database  # noqa: E402
+
+NODES = 8
+GROUPS = 64
+FACT_ROWS = 3000
+SMOKE_FACT_ROWS = 800
+MAX_COPIES = 2
+#: Groups with extra dimension rows: their partner partitions outnumber
+#: ``MAX_COPIES``, so their fact tuples overflow into the patch lists.
+WIDE_GROUPS = frozenset(g for g in range(GROUPS) if g % 16 == 15)
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: The replayed workload: grp-joins that the hash/hash layout must
+#: shuffle both sides of, plus one scan-only probe.
+QUERIES = (
+    "SELECT SUM(f.val) AS revenue FROM fact f JOIN dim d ON f.grp = d.grp",
+    (
+        "SELECT d.label, SUM(f.val) AS revenue, COUNT(*) AS n "
+        "FROM fact f JOIN dim d ON f.grp = d.grp GROUP BY d.label"
+    ),
+    (
+        "SELECT COUNT(*) AS n FROM fact f JOIN dim d ON f.grp = d.grp "
+        "WHERE f.val > 50.0"
+    ),
+    "SELECT COUNT(*) AS n FROM fact f",
+)
+
+
+def star_schema() -> DatabaseSchema:
+    schema = DatabaseSchema()
+    schema.create_table(
+        "dim",
+        [
+            ("k", DataType.INTEGER),
+            ("grp", DataType.INTEGER),
+            ("label", DataType.VARCHAR),
+        ],
+        primary_key=["k"],
+    )
+    schema.create_table(
+        "fact",
+        [
+            ("id", DataType.INTEGER),
+            ("grp", DataType.INTEGER),
+            ("val", DataType.FLOAT),
+        ],
+        primary_key=["id"],
+    )
+    return schema
+
+
+def star_database(fact_rows: int, seed: int = 7) -> Database:
+    """A dim/fact star with zipf-skewed fact group keys.
+
+    Every group has two dimension rows scattered by the hash on ``k``;
+    the :data:`WIDE_GROUPS` get four, so under patched PREF their fact
+    tuples have more partner partitions than ``MAX_COPIES`` stored
+    copies and must be patched.
+    """
+    rng = random.Random(seed)
+    database = Database(star_schema())
+    dim_rows = []
+    k = 0
+    for grp in range(GROUPS):
+        copies = 4 if grp in WIDE_GROUPS else 2
+        for _ in range(copies):
+            dim_rows.append((k, grp, f"seg{grp % 8}"))
+            k += 1
+    database.load("dim", dim_rows)
+    weights = [1.0 / (1 + grp) for grp in range(GROUPS)]
+    groups = rng.choices(range(GROUPS), weights=weights, k=fact_rows)
+    database.load(
+        "fact",
+        [
+            (i, grp, float(rng.randrange(100)))
+            for i, grp in enumerate(groups)
+        ],
+    )
+    return database
+
+
+def hash_config(n: int) -> PartitioningConfig:
+    """The starting layout: both tables hashed on their primary keys."""
+    config = PartitioningConfig(n)
+    config.add("dim", HashScheme(("k",), n))
+    config.add("fact", HashScheme(("id",), n))
+    return config
+
+
+def _normalise(rows, places: int = 6) -> Counter:
+    return Counter(
+        tuple(
+            round(v, places) if isinstance(v, float) else v for v in row
+        )
+        for row in rows
+    )
+
+
+def _measure(traces, schema) -> dict:
+    """Remote-bytes fraction of a workload from its traces."""
+    shuffled = 0
+    scanned = 0
+    patch_rows = 0
+    for trace in traces:
+        shuffled += int(trace.metrics.counter("engine.bytes.shuffled"))
+        patch_rows += int(trace.metrics.counter("engine.rows.patch_shipped"))
+        for span in trace.spans():
+            if span.name != "scan":
+                continue
+            table = span.label[len("scan(") : -1]
+            scanned += span.rows_out * schema.table(table).row_byte_width
+    return {
+        "shuffled_bytes": shuffled,
+        "scanned_bytes": scanned,
+        "remote_fraction": shuffled / scanned if scanned else 0.0,
+        "patch_rows": patch_rows,
+    }
+
+
+def run_adaptive_experiment(
+    fact_rows: int = FACT_ROWS, seed: int = 7
+) -> dict:
+    """Baseline -> detect -> recommend -> migrate -> replay; measure both."""
+    database = star_database(fact_rows, seed=seed)
+    cluster = SimulatedCluster.partition(database, hash_config(NODES))
+    server = cluster.serve(queue_depth=64)
+    mismatches: list[str] = []
+    try:
+        reference: dict[str, list] = {}
+        before_traces = []
+        for sql in QUERIES:
+            result = server.execute(sql, analyze=True, timeout=120)
+            reference[sql] = result.rows
+            before_traces.append(result.trace)
+        before = _measure(before_traces, database.schema)
+
+        report = detect_hotspots(
+            before_traces,
+            AdaptiveThresholds(remote_fraction=0.1, skew=1.2, min_rows=50),
+        )
+        hotspot = report.hotspot("fact")
+        new_config = recommend_patched_pref(
+            cluster.config, database.schema, report, max_copies=MAX_COPIES
+        )
+        migration = None
+        copy_counts: dict = {}
+        patch_entries = 0
+        after = dict(before)
+        if new_config is not None:
+            plan = server.migrate(new_config)
+            fact = cluster.partitioned.table("fact")
+            copy_counts = fact.stored_copy_counts()
+            patch_entries = fact.patch_count
+            migration = {
+                "copies_moved": plan.copies_moved,
+                "moved_fraction": plan.moved_fraction,
+                "seconds_parallel": plan.simulated_seconds(),
+                "seconds_serialized": plan.simulated_seconds(parallelism=1),
+            }
+            after_traces = []
+            for sql in QUERIES:
+                result = server.execute(sql, analyze=True, timeout=120)
+                if _normalise(result.rows) != _normalise(reference[sql]):
+                    mismatches.append(sql)
+                after_traces.append(result.trace)
+            after = _measure(after_traces, database.schema)
+        server.close()
+    finally:
+        cluster.close()
+    drop = (
+        1.0 - after["remote_fraction"] / before["remote_fraction"]
+        if before["remote_fraction"]
+        else 0.0
+    )
+    return {
+        "fact_rows": fact_rows,
+        "before": before,
+        "after": after,
+        "remote_drop": drop,
+        "hotspot": hotspot,
+        "recommended": new_config is not None,
+        "scheme": (
+            new_config.describe() if new_config is not None else "(none)"
+        ),
+        "migration": migration,
+        "max_stored_copies": max(copy_counts.values(), default=0),
+        "patch_entries": patch_entries,
+        "mismatches": mismatches,
+    }
+
+
+def render_report(outcome: dict) -> str:
+    before, after = outcome["before"], outcome["after"]
+    rows = [
+        (
+            "hash/hash baseline",
+            f"{before['shuffled_bytes'] / 1024:.1f}",
+            f"{before['remote_fraction']:.3f}",
+            str(before["patch_rows"]),
+        ),
+        (
+            f"patched-PREF (max_copies={MAX_COPIES})",
+            f"{after['shuffled_bytes'] / 1024:.1f}",
+            f"{after['remote_fraction']:.3f}",
+            str(after["patch_rows"]),
+        ),
+    ]
+    table = format_table(
+        ["layout", "shuffled KiB", "remote fraction", "patch rows"],
+        rows,
+        title=(
+            f"Adaptive repartitioning, {outcome['fact_rows']} fact rows / "
+            f"{NODES} nodes (remote fraction -{outcome['remote_drop']:.0%})"
+        ),
+    )
+    hotspot = outcome["hotspot"]
+    lines = [table]
+    if hotspot is not None:
+        lines.append(
+            f"detector: fact flagged ({'; '.join(hotspot.reasons)}), "
+            f"partner={hotspot.partner_table} on {hotspot.join_columns}"
+        )
+    migration = outcome["migration"]
+    if migration is not None:
+        lines.append(
+            f"migration: {migration['copies_moved']} copies moved "
+            f"({migration['moved_fraction']:.0%} of target), "
+            f"{migration['seconds_parallel']:.3f}s parallel vs "
+            f"{migration['seconds_serialized']:.3f}s serialized"
+        )
+    lines.append(
+        f"duplication: max stored copies={outcome['max_stored_copies']} "
+        f"(bound {MAX_COPIES}), patch entries={outcome['patch_entries']}"
+    )
+    lines.append(
+        "answers identical before/after migration: "
+        f"{'yes' if not outcome['mismatches'] else outcome['mismatches'][:3]}"
+    )
+    return "\n".join(lines)
+
+
+def _check(outcome: dict) -> None:
+    hotspot = outcome["hotspot"]
+    assert hotspot is not None, "detector did not flag the fact table"
+    assert any("remote fraction" in r for r in hotspot.reasons)
+    assert outcome["recommended"], "no patched-PREF recommendation produced"
+    assert not outcome["mismatches"], outcome["mismatches"][:3]
+    assert outcome["migration"] is not None
+    assert outcome["migration"]["copies_moved"] > 0
+    assert (
+        outcome["migration"]["seconds_parallel"]
+        <= outcome["migration"]["seconds_serialized"]
+    )
+    assert 0 < outcome["max_stored_copies"] <= MAX_COPIES
+    assert outcome["patch_entries"] > 0, "duplication cap never bound"
+    assert outcome["after"]["patch_rows"] > 0, "residual shuffle never ran"
+    assert outcome["remote_drop"] >= 0.30, (
+        f"expected >=30% remote-fraction drop, got "
+        f"{outcome['remote_drop']:.0%}"
+    )
+
+
+def test_adaptive_locality(benchmark, report):
+    outcome = benchmark.pedantic(
+        run_adaptive_experiment, rounds=1, iterations=1
+    )
+    report("adaptive", render_report(outcome))
+    _check(outcome)
+
+
+def main(argv: list[str]) -> int:
+    smoke = "--smoke" in argv
+    outcome = run_adaptive_experiment(
+        fact_rows=SMOKE_FACT_ROWS if smoke else FACT_ROWS
+    )
+    text = render_report(outcome)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "adaptive.txt").write_text(text + "\n")
+    print(text)
+    _check(outcome)
+    print("adaptive benchmark: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -101,15 +101,18 @@ class SimulatedCluster:
         self.config = config
         self.cost = cost or CostParameters()
         self.backend = make_backend(backend) or ThreadPoolBackend()
+        self._executor_options = {
+            "optimizations": optimizations,
+            "locality": locality,
+            "batch_size": batch_size,
+            "predicate_transfer": predicate_transfer,
+            "bloom_fpr": bloom_fpr,
+        }
         self.executor = Executor(
             partitioned,
-            optimizations=optimizations,
-            locality=locality,
             backend=self.backend,
             cost=self.cost,
-            batch_size=batch_size,
-            predicate_transfer=predicate_transfer,
-            bloom_fpr=bloom_fpr,
+            **self._executor_options,
         )
         self.loader = BulkLoader(partitioned, config)
 
@@ -224,6 +227,53 @@ class SimulatedCluster:
     def close(self) -> None:
         """Release the engine backend's scheduler resources."""
         self.backend.close()
+
+    # -- online repartitioning ---------------------------------------------------
+
+    def repartition(self, new_config: PartitioningConfig):
+        """Switch this cluster to *new_config* in place; return the plan.
+
+        The current logical database is rebuilt from the canonical rows of
+        the partitioned tables (NOT from the original source database —
+        incremental loads since partitioning live only in the partitions),
+        re-partitioned under *new_config*, and swapped in together with a
+        fresh executor and loader.  Returns the
+        :class:`~repro.partitioning.migration.MigrationPlan` comparing old
+        and new placements.
+
+        Not concurrency-safe on its own: when the cluster is being served,
+        call :meth:`repro.serve.ClusterServer.migrate` instead, which runs
+        this under the serve layer's write lock and invalidates caches.
+        """
+        from repro.partitioning.migration import plan_migration
+
+        database = Database(self.database.schema)
+        for name in self.database.schema.table_names:
+            if self.partitioned.has_table(name):
+                database.load(
+                    name, list(self.partitioned.table(name).canonical_rows())
+                )
+            else:
+                database.load(name, list(self.database.table(name).rows))
+        new_partitioned = partition_database(database, new_config)
+        plan = plan_migration(
+            database,
+            self.config,
+            new_config,
+            old_partitioned=self.partitioned,
+            new_partitioned=new_partitioned,
+        )
+        self.database = database
+        self.partitioned = new_partitioned
+        self.config = new_config
+        self.executor = Executor(
+            new_partitioned,
+            backend=self.backend,
+            cost=self.cost,
+            **self._executor_options,
+        )
+        self.loader = BulkLoader(new_partitioned, new_config)
+        return plan
 
     # -- storage -----------------------------------------------------------------
 

@@ -58,6 +58,8 @@ class OperatorStats:
     bloom_probed: int = 0
     #: Rows pruned by predicate-transfer Bloom filters.
     bloom_pruned: int = 0
+    #: Patched-PREF patch-list rows delivered by the residual shuffle.
+    patch_rows: int = 0
     #: Output partition index -> rows emitted into it, for skew reporting.
     rows_out_by_partition: dict[int, int] = field(default_factory=dict)
 
@@ -112,7 +114,7 @@ class ContextDelta:
         self.join_events: list[tuple[int, int, int, int]] = []
         #: op_id -> [per-node work, network bytes, rows shipped, shuffles,
         #: partitions scanned, rows out, rows-out-by-partition,
-        #: dup-eliminated, bloom-probed, bloom-pruned]
+        #: dup-eliminated, bloom-probed, bloom-pruned, patch-rows]
         self.op_slots: dict[int, list] = {}
         self.metrics = MetricsRegistry(locked=False)
         self.trace_events: list[TraceEvent] = []
@@ -122,7 +124,7 @@ class ContextDelta:
     def _slot(self, op_id: int) -> list:
         slot = self.op_slots.get(op_id)
         if slot is None:
-            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0, {}, 0, 0, 0]
+            slot = [[0.0] * self.node_count, 0, 0, 0, 0, 0, {}, 0, 0, 0, 0]
             self.op_slots[op_id] = slot
         return slot
 
@@ -195,6 +197,12 @@ class ContextDelta:
         slot[9] += pruned
         self.metrics.inc("engine.rows.bloom_probed", probed)
         self.metrics.inc("engine.rows.bloom_pruned", pruned)
+
+    def add_patch(self, op: "PhysicalOperator", rows: int) -> None:
+        if rows <= 0:
+            return
+        self._slot(op.op_id)[10] += rows
+        self.metrics.inc("engine.rows.patch_shipped", rows)
 
     def record_trace(self, event: TraceEvent) -> None:
         if self.trace is not None:
@@ -342,6 +350,14 @@ class ExecutionContext:
         self.metrics.inc("engine.rows.bloom_probed", probed)
         self.metrics.inc("engine.rows.bloom_pruned", pruned)
 
+    def add_patch(self, op: "PhysicalOperator", rows: int) -> None:
+        """Record patch-list rows delivered by *op*'s residual shuffle."""
+        if rows <= 0:
+            return
+        with self._lock:
+            self._operators[op.op_id].patch_rows += rows
+        self.metrics.inc("engine.rows.patch_shipped", rows)
+
     def record_trace(self, event: TraceEvent) -> None:
         """Forward *event* to the trace hook, if one is installed."""
         if self.trace is not None:
@@ -385,6 +401,7 @@ class ExecutionContext:
                 target.dup_eliminated += slot[7]
                 target.bloom_probed += slot[8]
                 target.bloom_pruned += slot[9]
+                target.patch_rows += slot[10]
         self.metrics.merge(delta.metrics)
         for event in delta.trace_events:
             self.record_trace(event)

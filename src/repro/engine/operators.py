@@ -272,6 +272,27 @@ class PhysicalScan(PhysicalOperator):
         if self.attach_bitmaps:
             base = self._materialize(partition, self.width - 2)
             dup_list, partner_list = partition.bitmap_lists()
+            deliveries = self.table.patches_for(partition.partition_id)
+            if deliveries:
+                # Residual shuffle for patched PREF: overflow copies whose
+                # storage was capped at max_copies are delivered to their
+                # partner partitions at scan time.  They behave exactly
+                # like stored dup=1 copies, so every downstream rewrite
+                # that is correct for plain PREF stays correct.  The
+                # partition caches are aliased read-only — copy before
+                # extending.
+                columns = [list(column) for column in base.columns]
+                for row, _source_id in deliveries:
+                    for column, value in zip(columns, row):
+                        column.append(value)
+                extra = len(deliveries)
+                dup_list = dup_list + [1] * extra
+                partner_list = partner_list + [1] * extra
+                base = ColumnBatch(columns, base.length + extra)
+                ctx.add_network(
+                    self, extra * self.table.schema.row_byte_width, extra
+                )
+                ctx.add_patch(self, extra)
             batch = ColumnBatch(
                 base.columns + [dup_list, partner_list], base.length
             )

@@ -55,6 +55,7 @@ def span_to_json(span: OperatorSpan) -> dict:
         "bloom_filters": span.bloom_filters,
         "bloom_probed": span.bloom_probed,
         "bloom_pruned": span.bloom_pruned,
+        "patch_rows": span.patch_rows,
         "node_work": list(span.node_work),
         "seconds": span.seconds,
         "locality": span.locality,
@@ -207,6 +208,8 @@ def _measured(span: OperatorSpan) -> str:
         fields.append(f"dup_elim={span.dup_eliminated}")
     if span.bloom_probed or span.bloom_filters:
         fields.append(f"bloom_pruned={span.bloom_pruned}/{span.bloom_probed}")
+    if span.patch_rows:
+        fields.append(f"patch_shipped={span.patch_rows}")
     if span.partitions_scanned:
         fields.append(f"parts={span.partitions_scanned}")
     locality = span.locality

@@ -93,6 +93,8 @@ class OperatorSpan:
     bloom_filters: int = 0
     bloom_probed: int = 0
     bloom_pruned: int = 0
+    #: Patched-PREF patch-list rows delivered by the residual shuffle.
+    patch_rows: int = 0
     node_work: tuple[float, ...] = ()
     tasks: tuple[TaskSpan, ...] = ()
     children: tuple["OperatorSpan", ...] = ()
@@ -189,6 +191,10 @@ class OperatorSpan:
         )
         if self.bloom_filters or self.bloom_probed or self.bloom_pruned:
             base += ((self.bloom_filters, self.bloom_probed, self.bloom_pruned),)
+        if self.patch_rows:
+            # Same back-compat pattern: patch-free spans keep the frozen
+            # tuple shape; the tag disambiguates from the bloom element.
+            base += (("patch", self.patch_rows),)
         return base
 
 
@@ -288,6 +294,7 @@ def build_trace(
             span.partitions_scanned = stats.partitions_scanned
             span.bloom_probed = stats.bloom_probed
             span.bloom_pruned = stats.bloom_pruned
+            span.patch_rows = stats.patch_rows
             span.node_work = tuple(stats.node_work)
         return span
 

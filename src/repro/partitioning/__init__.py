@@ -13,9 +13,17 @@ from repro.partitioning.metrics import (
 )
 from repro.partitioning.partitioner import partition_database
 from repro.partitioning.predicate import JoinPredicate
+from repro.partitioning.adaptive import (
+    AdaptiveReport,
+    AdaptiveThresholds,
+    TableHotspot,
+    detect_hotspots,
+    recommend_patched_pref,
+)
 from repro.partitioning.scheme import (
     HashScheme,
     PartitioningScheme,
+    PatchedPrefScheme,
     PrefScheme,
     RangeScheme,
     ReplicatedScheme,
@@ -27,6 +35,8 @@ from repro.partitioning.scheme import (
 )
 
 __all__ = [
+    "AdaptiveReport",
+    "AdaptiveThresholds",
     "BulkLoader",
     "BulkLoadStats",
     "HashScheme",
@@ -35,19 +45,23 @@ __all__ = [
     "MigrationPlan",
     "PartitioningConfig",
     "PartitioningScheme",
+    "PatchedPrefScheme",
     "PrefScheme",
     "RangeScheme",
     "ReplicatedScheme",
     "RoundRobinScheme",
     "SchemeKind",
+    "TableHotspot",
     "TableMigration",
     "check_pref_invariants",
     "data_redundancy",
     "data_redundancy_against",
+    "detect_hotspots",
     "partition_balance",
     "partition_database",
     "plan_migration",
     "per_table_redundancy",
+    "recommend_patched_pref",
     "set_string_hash_cache_capacity",
     "stable_hash",
     "string_hash_cache_info",

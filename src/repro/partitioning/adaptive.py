@@ -1,0 +1,298 @@
+"""Adaptive repartitioning: detect measured skew/locality hotspots, then
+recommend a patched-PREF design that bounds the remote work.
+
+The obs layer (``repro.obs``) measures what the design algorithms only
+estimate: per-operator rows shipped, bytes shuffled, and output skew.
+This module closes the feedback loop:
+
+* :func:`detect_hotspots` consumes :class:`~repro.obs.span.QueryTrace`
+  spans (and optionally the serving metrics registry) and flags tables
+  whose measured remote fraction or per-node row skew exceeds the
+  :class:`AdaptiveThresholds`.
+* :func:`recommend_patched_pref` turns the hottest join-shuffle hotspot
+  into a concrete configuration change: the flagged table becomes
+  :class:`~repro.partitioning.scheme.PatchedPrefScheme` referencing its
+  join partner, with per-tuple duplication capped at ``max_copies`` and
+  overflow copies routed to the patch list (serviced by the engine's
+  residual shuffle at scan time).
+
+The recommended configuration is applied online by
+``SimulatedCluster.repartition`` / ``ClusterServer.migrate``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import InvalidConfigurationError
+from repro.partitioning.config import PartitioningConfig
+from repro.partitioning.predicate import JoinPredicate
+from repro.partitioning.scheme import (
+    PatchedPrefScheme,
+    PrefScheme,
+    SchemeKind,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.catalog.schema import DatabaseSchema
+    from repro.obs.span import OperatorSpan, QueryTrace
+
+_SCAN_LABEL = re.compile(r"^scan\((?P<table>[^)]+)\)$")
+
+
+@dataclass(frozen=True)
+class AdaptiveThresholds:
+    """When is a table's measured behaviour bad enough to flag?
+
+    Attributes:
+        remote_fraction: Flag when shipped rows / scanned rows exceeds
+            this (rows attributed from repartition operators feeding
+            joins, plus the scan's own shipped rows).
+        skew: Flag when max/mean scan output partition size exceeds this.
+        min_rows: Ignore tables that produced fewer scanned rows than
+            this across the observed traces (too little signal).
+    """
+
+    remote_fraction: float = 0.2
+    skew: float = 2.0
+    min_rows: int = 100
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.remote_fraction <= 1.0:
+            raise ValueError(
+                f"remote_fraction must be in [0, 1], got {self.remote_fraction}"
+            )
+        if self.skew < 1.0:
+            raise ValueError(f"skew threshold must be >= 1, got {self.skew}")
+        if self.min_rows < 0:
+            raise ValueError(f"min_rows must be >= 0, got {self.min_rows}")
+
+
+@dataclass(frozen=True)
+class TableHotspot:
+    """One flagged table with the measurements that flagged it."""
+
+    table: str
+    scanned_rows: int
+    shipped_rows: int
+    remote_fraction: float
+    skew: float
+    reasons: tuple[str, ...]
+    #: Join columns of this table in its hottest shuffled join
+    #: (unqualified), and the partner side — the recommendation inputs.
+    join_columns: tuple[str, ...] = ()
+    partner_table: str | None = None
+    partner_columns: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class AdaptiveReport:
+    """Everything the detector measured, flagged or not."""
+
+    hotspots: tuple[TableHotspot, ...]
+    #: Per-table (scanned rows, shipped rows, skew) for reporting.
+    measurements: dict[str, tuple[int, int, float]] = field(
+        default_factory=dict
+    )
+    #: Patch-list rows delivered across the observed traces (from the
+    #: ``engine.rows.patch_shipped`` counter of each trace's registry).
+    patch_rows: int = 0
+
+    def hotspot(self, table: str) -> TableHotspot | None:
+        """The hotspot entry for *table*, if it was flagged."""
+        for candidate in self.hotspots:
+            if candidate.table == table:
+                return candidate
+        return None
+
+
+def _scan_table(span: "OperatorSpan") -> str | None:
+    match = _SCAN_LABEL.match(span.label)
+    return match.group("table") if match else None
+
+
+def _leaf_scan_tables(span: "OperatorSpan") -> list[str]:
+    return [
+        table
+        for candidate in span.walk()
+        if candidate.name == "scan"
+        and (table := _scan_table(candidate)) is not None
+    ]
+
+
+def _strip(columns: Iterable[str]) -> tuple[str, ...]:
+    """Drop alias qualifiers: ``("f.grp",) -> ("grp",)``."""
+    return tuple(column.split(".")[-1] for column in columns)
+
+
+def detect_hotspots(
+    traces: Iterable["QueryTrace"],
+    thresholds: AdaptiveThresholds | None = None,
+) -> AdaptiveReport:
+    """Flag tables whose measured remote fraction or skew is excessive.
+
+    Remote rows are attributed per table: a repartition operator feeding
+    a join charges its shipped rows to the (single) base table scanned
+    beneath it; scans charge their own shipped rows (broadcast legs and
+    patched-PREF residual deliveries).  Skew is the worst max/mean
+    output-partition ratio observed over the table's scans.
+    """
+    thresholds = thresholds or AdaptiveThresholds()
+    scanned: dict[str, int] = {}
+    shipped: dict[str, int] = {}
+    skew: dict[str, float] = {}
+    # (table, partner) -> [shipped rows, own columns, partner columns]
+    joins: dict[tuple[str, str | None], list] = {}
+    patch_rows = 0
+    for trace in traces:
+        patch_rows += int(trace.metrics.counter("engine.rows.patch_shipped"))
+        for span in trace.spans():
+            if span.name == "scan":
+                table = _scan_table(span)
+                if table is None:
+                    continue
+                scanned[table] = scanned.get(table, 0) + span.rows_out
+                shipped[table] = shipped.get(table, 0) + span.rows_shipped
+                span_skew = span.skew
+                if span_skew is not None:
+                    skew[table] = max(skew.get(table, 1.0), span_skew)
+            elif span.name == "join" and len(span.children) == 2:
+                pairs = (
+                    (span.children[0], span.children[1]),
+                    (span.children[1], span.children[0]),
+                )
+                for child, sibling in pairs:
+                    if child.name != "repartition" or not child.rows_shipped:
+                        continue
+                    tables = _leaf_scan_tables(child)
+                    if len(tables) != 1:
+                        continue
+                    table = tables[0]
+                    shipped[table] = shipped.get(table, 0) + child.rows_shipped
+                    partner_tables = _leaf_scan_tables(sibling)
+                    partner = (
+                        partner_tables[0]
+                        if len(partner_tables) == 1
+                        else None
+                    )
+                    entry = joins.setdefault(
+                        (table, partner), [0, (), ()]
+                    )
+                    entry[0] += child.rows_shipped
+                    if child.hash_columns:
+                        entry[1] = _strip(child.hash_columns)
+                    if sibling.hash_columns:
+                        entry[2] = _strip(sibling.hash_columns)
+
+    hotspots: list[TableHotspot] = []
+    measurements: dict[str, tuple[int, int, float]] = {}
+    for table in sorted(scanned):
+        rows = scanned[table]
+        remote = shipped.get(table, 0)
+        table_skew = skew.get(table, 1.0)
+        measurements[table] = (rows, remote, table_skew)
+        if rows < thresholds.min_rows:
+            continue
+        fraction = remote / rows if rows else 0.0
+        reasons = []
+        if fraction > thresholds.remote_fraction:
+            reasons.append(
+                f"remote fraction {fraction:.2f} > "
+                f"{thresholds.remote_fraction:.2f}"
+            )
+        if table_skew > thresholds.skew:
+            reasons.append(
+                f"skew {table_skew:.2f} > {thresholds.skew:.2f}"
+            )
+        if not reasons:
+            continue
+        # The hottest shuffled join involving this table supplies the
+        # recommendation inputs (if any was observed).
+        best: tuple[int, str | None, tuple, tuple] = (0, None, (), ())
+        for (join_table, partner), entry in joins.items():
+            if join_table != table or partner is None:
+                continue
+            if entry[0] > best[0] and entry[1] and entry[2]:
+                best = (entry[0], partner, entry[1], entry[2])
+        hotspots.append(
+            TableHotspot(
+                table=table,
+                scanned_rows=rows,
+                shipped_rows=remote,
+                remote_fraction=fraction,
+                skew=table_skew,
+                reasons=tuple(reasons),
+                join_columns=best[2],
+                partner_table=best[1],
+                partner_columns=best[3],
+            )
+        )
+    hotspots.sort(key=lambda h: h.shipped_rows, reverse=True)
+    return AdaptiveReport(
+        hotspots=tuple(hotspots),
+        measurements=measurements,
+        patch_rows=patch_rows,
+    )
+
+
+def recommend_patched_pref(
+    config: PartitioningConfig,
+    schema: "DatabaseSchema",
+    report: AdaptiveReport,
+    max_copies: int = 2,
+) -> PartitioningConfig | None:
+    """A new configuration fixing the hottest fixable hotspot, or None.
+
+    The flagged table's scheme is replaced by a
+    :class:`~repro.partitioning.scheme.PatchedPrefScheme` referencing
+    its observed join partner on the observed join columns; every other
+    table keeps its scheme.  A hotspot is fixable when the partner is a
+    configured seed table (PREF onto replicated or PREF tables is
+    unsound/degenerate) and nothing PREF-references the flagged table
+    (chained co-location through a patched table is unsound).  The
+    returned configuration is validated against *schema*.
+    """
+    for hotspot in report.hotspots:
+        partner = hotspot.partner_table
+        if (
+            partner is None
+            or not hotspot.join_columns
+            or len(hotspot.join_columns) != len(hotspot.partner_columns)
+        ):
+            continue
+        if hotspot.table not in config or partner not in config:
+            continue
+        partner_scheme = config.scheme_of(partner)
+        if (
+            not partner_scheme.kind.is_seed
+            or partner_scheme.kind is SchemeKind.REPLICATED
+        ):
+            continue
+        if any(
+            isinstance(scheme, PrefScheme)
+            and scheme.referenced_table == hotspot.table
+            for _table, scheme in config
+        ):
+            continue
+        candidate = PartitioningConfig(config.partition_count)
+        for table, scheme in config:
+            if table == hotspot.table:
+                scheme = PatchedPrefScheme(
+                    partner,
+                    JoinPredicate(
+                        hotspot.table,
+                        hotspot.join_columns,
+                        partner,
+                        hotspot.partner_columns,
+                    ),
+                    max_copies=max_copies,
+                )
+            candidate.add(table, scheme)
+        try:
+            candidate.validate(schema)
+        except InvalidConfigurationError:
+            continue
+        return candidate
+    return None

@@ -24,6 +24,7 @@ from repro.errors import BulkLoadError
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.scheme import (
     HashScheme,
+    PatchedPrefScheme,
     PrefScheme,
     RangeScheme,
     ReplicatedScheme,
@@ -201,6 +202,12 @@ class BulkLoader:
                 partitions = index.partitions_of(key)
             if partitions:
                 placed = tuple(sorted(partitions))
+                if isinstance(scheme, PatchedPrefScheme) and len(
+                    placed
+                ) > scheme.max_copies:
+                    for partition_id in placed[scheme.max_copies :]:
+                        target.add_patch(partition_id, row, source_id)
+                    placed = placed[: scheme.max_copies]
                 for rank, partition_id in enumerate(placed):
                     target.partitions[partition_id].append(
                         row, source_id, duplicate=rank > 0, has_partner=True
@@ -274,12 +281,26 @@ class BulkLoader:
             ref_columns = scheme.referencing_columns(referencing_name)
             locator = _locate_rows(referencing, ref_columns, set(new_keys))
             width = referencing.schema.row_byte_width
+            max_copies = (
+                scheme.max_copies
+                if isinstance(scheme, PatchedPrefScheme)
+                else None
+            )
             downstream: list[tuple[Row, frozenset[int]]] = []
             for key, partitions in new_keys.items():
                 for source_id, row, existing in locator.get(key, ()):  # noqa: B020
-                    missing = partitions - existing
+                    patched = referencing.patch_partitions_of(source_id)
+                    missing = partitions - existing - patched
                     added: set[int] = set()
                     for partition_id in sorted(missing):
+                        if (
+                            max_copies is not None
+                            and len(existing) >= max_copies
+                        ):
+                            # Duplication cap reached: overflow partner
+                            # locations go to the patch list instead.
+                            referencing.add_patch(partition_id, row, source_id)
+                            continue
                         referencing.partitions[partition_id].append(
                             row, source_id, duplicate=True, has_partner=True
                         )
@@ -318,6 +339,19 @@ class BulkLoader:
             ]
             removed += partition.row_count - len(keep)
             _rebuild_partition(partition, keep)
+        if target.patches:
+            kept_patches = {
+                partition_id: [
+                    (row, source_id)
+                    for row, source_id in entries
+                    if not where(row)
+                ]
+                for partition_id, entries in target.patches.items()
+            }
+            removed += target.patch_count - sum(
+                len(entries) for entries in kept_patches.values()
+            )
+            target.replace_patches(kept_patches)
         target.invalidate_indexes()
         return removed
 
@@ -353,6 +387,22 @@ class BulkLoader:
                         )
                 partition.rows[index] = new_row
                 partition.invalidate_caches()
+                updated += 1
+        for entries in target.patches.values():
+            for index, (row, source_id) in enumerate(entries):
+                if not where(row):
+                    continue
+                new_row = tuple(assign(row))
+                if len(new_row) != len(row):
+                    raise BulkLoadError("update changed row arity")
+                for position in positions:
+                    if new_row[position] != row[position]:
+                        column = target.schema.columns[position].name
+                        raise BulkLoadError(
+                            f"update modifies partitioning-relevant column "
+                            f"{table}.{column}"
+                        )
+                entries[index] = (new_row, source_id)
                 updated += 1
         return updated
 

@@ -16,6 +16,7 @@ from repro.errors import InvalidConfigurationError
 from repro.partitioning.predicate import JoinPredicate
 from repro.partitioning.scheme import (
     PartitioningScheme,
+    PatchedPrefScheme,
     PrefScheme,
     SchemeKind,
 )
@@ -169,6 +170,13 @@ class PartitioningConfig:
                         f"table {table!r} PREF-references the replicated "
                         f"table {referenced!r}; co-partitioning with a "
                         "replicated table is degenerate"
+                    )
+                if isinstance(self.scheme_of(referenced), PatchedPrefScheme):
+                    raise InvalidConfigurationError(
+                        f"table {table!r} PREF-references the patched table "
+                        f"{referenced!r}; stored copies of a patched table "
+                        "do not cover all partner partitions, so chained "
+                        "co-location would be unsound"
                     )
                 if scheme.predicate.tables != frozenset((table, referenced)):
                     raise InvalidConfigurationError(

@@ -17,7 +17,11 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.partitioning.config import PartitioningConfig
-from repro.partitioning.scheme import PrefScheme, key_has_null
+from repro.partitioning.scheme import (
+    PatchedPrefScheme,
+    PrefScheme,
+    key_has_null,
+)
 from repro.storage.partitioned import PartitionedDatabase, PartitionedTable
 
 
@@ -92,6 +96,9 @@ def _check_pref_table(
                 partition.has_partner[index]
             )
 
+    max_copies = (
+        scheme.max_copies if isinstance(scheme, PatchedPrefScheme) else None
+    )
     for source_id, key in keys.items():
         expected = (
             set()
@@ -105,19 +112,48 @@ def _check_pref_table(
             }
         )
         actual = copies[source_id]
+        patched = set(referencing.patch_partitions_of(source_id))
+        if patched & actual:
+            raise InvariantViolation(
+                f"{name}: tuple {source_id} (key {key!r}) both stored in and "
+                f"patched to partitions {sorted(patched & actual)}"
+            )
         if expected:
-            missing = expected - actual
+            # Patch-list entries satisfy locality through the residual
+            # shuffle: a partner partition must hold a stored copy OR a
+            # patch delivery, never neither.
+            missing = expected - actual - patched
             if missing:
                 raise InvariantViolation(
                     f"{name}: tuple {source_id} (key {key!r}) missing from "
                     f"partitions {sorted(missing)} that hold a partner"
                 )
-            if exact and actual != expected:
+            if patched - expected:
+                raise InvariantViolation(
+                    f"{name}: tuple {source_id} (key {key!r}) patched to "
+                    f"partitions {sorted(patched - expected)} without a "
+                    f"partner"
+                )
+            if max_copies is not None and len(actual) > max_copies:
+                raise InvariantViolation(
+                    f"{name}: tuple {source_id} (key {key!r}) stored in "
+                    f"{len(actual)} partitions, exceeding max_copies="
+                    f"{max_copies}"
+                )
+            if exact and actual - expected:
                 raise InvariantViolation(
                     f"{name}: tuple {source_id} (key {key!r}) has stray "
                     f"copies in {sorted(actual - expected)}"
                 )
         else:
+            # Partner-less tuples (including NULL keys, the PR 3 rule) are
+            # dealt round-robin exactly once and never enter a patch list —
+            # patch entries exist only for real partner locations.
+            if patched:
+                raise InvariantViolation(
+                    f"{name}: partner-less tuple {source_id} has patch "
+                    f"entries in partitions {sorted(patched)}"
+                )
             if len(actual) != 1:
                 raise InvariantViolation(
                     f"{name}: partner-less tuple {source_id} stored in "

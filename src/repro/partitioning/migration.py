@@ -32,6 +32,8 @@ class TableMigration:
             hold them yet.
         copies_dropped: Old copies that no longer exist afterwards.
         bytes_moved: Nominal bytes shipped for this table.
+        bytes_moved_by_node: Bytes arriving at each destination node
+            (index = node id); drives the parallel-transfer time model.
     """
 
     table: str
@@ -41,6 +43,7 @@ class TableMigration:
     copies_moved: int
     copies_dropped: int
     bytes_moved: int
+    bytes_moved_by_node: tuple[int, ...] = ()
 
 
 @dataclass
@@ -72,13 +75,41 @@ class MigrationPlan:
             return 0.0
         return self.copies_moved / total_after
 
+    @property
+    def bytes_moved_by_node(self) -> tuple[int, ...]:
+        """Bytes arriving at each destination node, summed over tables."""
+        per_node: list[int] = []
+        for migration in self.tables.values():
+            for node, byte_count in enumerate(migration.bytes_moved_by_node):
+                while len(per_node) <= node:
+                    per_node.append(0)
+                per_node[node] += byte_count
+        return tuple(per_node)
+
     def simulated_seconds(
         self,
         network_bandwidth_bytes: float = 300e6,
         row_scale: float = 1.0,
+        parallelism: int | None = None,
     ) -> float:
-        """Simulated migration time (network-bound bulk movement)."""
-        return self.bytes_moved * row_scale / network_bandwidth_bytes
+        """Simulated migration time (network-bound bulk movement).
+
+        Destination nodes ingest in parallel, each over its own link, so
+        the default wall clock is the *max* per-destination-node bytes
+        over the bandwidth (never less than total/parallelism when a
+        smaller ``parallelism`` caps the concurrent transfers).
+        ``parallelism=1`` recovers the historical serialized figure
+        (all bytes charged to a single link).
+        """
+        if parallelism is not None and parallelism < 1:
+            raise ValueError(f"parallelism must be >= 1, got {parallelism}")
+        per_node = self.bytes_moved_by_node
+        if parallelism is None:
+            parallelism = max(1, len([b for b in per_node if b]))
+        bottleneck = max(
+            max(per_node, default=0), self.bytes_moved / parallelism
+        )
+        return bottleneck * row_scale / network_bandwidth_bytes
 
 
 def plan_migration(
@@ -95,30 +126,35 @@ def plan_migration(
     the old configuration.  Tables absent from the old configuration are
     fully loaded (every copy moves); tables absent from the new one are
     fully dropped.
+
+    The cluster sizes may differ (the adaptive loop's scale-out/scale-in
+    case): placements are matched over the shared node prefix; copies
+    destined for new nodes all move, and copies on removed nodes are
+    dropped.
     """
     old_dp = old_partitioned or partition_database(database, old_config)
     new_dp = new_partitioned or partition_database(database, new_config)
-    if old_dp.partition_count != new_dp.partition_count:
-        raise ValueError(
-            "migration planning requires equal cluster sizes "
-            f"({old_dp.partition_count} vs {new_dp.partition_count})"
-        )
+    node_span = max(old_dp.partition_count, new_dp.partition_count)
     plan = MigrationPlan()
     tables = set(old_config.tables) | set(new_config.tables)
     for table in sorted(tables):
         old_counts = _placements(old_dp, table)
         new_counts = _placements(new_dp, table)
+        width = database.table(table).schema.row_byte_width
         kept = 0
         moved = 0
-        for node in range(new_dp.partition_count):
+        moved_bytes_by_node = [0] * new_dp.partition_count
+        for node in range(node_span):
             old_here = old_counts.get(node, Counter())
             new_here = new_counts.get(node, Counter())
             overlap = sum((old_here & new_here).values())
             kept += overlap
-            moved += sum(new_here.values()) - overlap
+            moved_here = sum(new_here.values()) - overlap
+            moved += moved_here
+            if moved_here and node < new_dp.partition_count:
+                moved_bytes_by_node[node] = moved_here * width
         before = sum(sum(c.values()) for c in old_counts.values())
         after = sum(sum(c.values()) for c in new_counts.values())
-        width = database.table(table).schema.row_byte_width
         plan.tables[table] = TableMigration(
             table=table,
             copies_before=before,
@@ -127,6 +163,7 @@ def plan_migration(
             copies_moved=moved,
             copies_dropped=before - kept,
             bytes_moved=moved * width,
+            bytes_moved_by_node=tuple(moved_bytes_by_node),
         )
     return plan
 

@@ -14,6 +14,7 @@ from repro.errors import PartitioningError
 from repro.partitioning.config import PartitioningConfig
 from repro.partitioning.scheme import (
     HashScheme,
+    PatchedPrefScheme,
     PrefScheme,
     RangeScheme,
     ReplicatedScheme,
@@ -112,7 +113,7 @@ def _verified_effective_hash(
     columns = _derived_hash_columns(table.name, config)
     if columns is None:
         return None
-    if table.duplicate_count:
+    if table.duplicate_count or table.patch_count:
         return None
     count = table.partition_count
     extract = _key_extractor(table.schema, columns)
@@ -179,6 +180,9 @@ def _place_pref(
     extract = _key_extractor(
         base_table.schema, scheme.referencing_columns(target.name)
     )
+    max_copies = (
+        scheme.max_copies if isinstance(scheme, PatchedPrefScheme) else None
+    )
     round_robin_cursor = 0
     for row in base_table.rows:
         source_id = target.allocate_source_id()
@@ -189,7 +193,14 @@ def _place_pref(
         if partitions:
             # Condition (1): a copy into every partition with a partner.
             # The lowest partition id holds the canonical copy (dup = 0).
-            for rank, partition_id in enumerate(sorted(partitions)):
+            # Patched PREF stores only the max_copies lowest-id copies;
+            # the rest go to the patch list for the residual shuffle.
+            placed = sorted(partitions)
+            if max_copies is not None and len(placed) > max_copies:
+                for partition_id in placed[max_copies:]:
+                    target.add_patch(partition_id, tuple(row), source_id)
+                placed = placed[:max_copies]
+            for rank, partition_id in enumerate(placed):
                 target.partitions[partition_id].append(
                     row, source_id, duplicate=rank > 0, has_partner=True
                 )

@@ -156,8 +156,35 @@ class PrefScheme:
         return self.predicate.columns_of(self.referenced_table)
 
 
+@dataclass(frozen=True)
+class PatchedPrefScheme(PrefScheme):
+    """PREF with per-tuple duplication capped at ``max_copies``.
+
+    Stored placement keeps the ``max_copies`` lowest partner partition
+    ids (the lowest is the canonical dup=0 copy, exactly as for plain
+    PREF); the remaining partner partitions are recorded in the table's
+    per-partition *patch list* and serviced by a residual shuffle at
+    scan time.  Bounded redundancy is traded for a bounded amount of
+    remote work proportional to the overflow.
+    """
+
+    max_copies: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.max_copies < 1:
+            raise PartitioningError(
+                f"max_copies must be >= 1, got {self.max_copies}"
+            )
+
+
 PartitioningScheme = (
-    HashScheme | RangeScheme | RoundRobinScheme | ReplicatedScheme | PrefScheme
+    HashScheme
+    | RangeScheme
+    | RoundRobinScheme
+    | ReplicatedScheme
+    | PrefScheme
+    | PatchedPrefScheme
 )
 
 SeedScheme = HashScheme | RangeScheme | RoundRobinScheme

@@ -136,6 +136,11 @@ def derive_prune_info(
         return None
     if scheme.kind is SchemeKind.PREF:
         assert isinstance(scheme, PrefScheme)
+        if table.patch_count:
+            # Patched tables need every partition's residual deliveries to
+            # happen; pruning to the stored-copy partitions would skip the
+            # patch-list copies joins in overflow partitions rely on.
+            return None
         if table.effective_hash is not None:
             values = bound(table.effective_hash)
             if values is not None:

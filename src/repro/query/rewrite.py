@@ -150,8 +150,9 @@ class Rewriter:
             origins += [None, None]
             widths += [1, 1]
             # A PREF table without any materialised duplicates needs no
-            # duplicate elimination at all.
-            if table.duplicate_count:
+            # duplicate elimination at all.  Patch-list deliveries arrive
+            # with dup=1, so patched tables always need governing.
+            if table.duplicate_count or table.patch_count:
                 governing = (dup_column(alias),)
             # REF-like chains verified to follow the seed's hash placement
             # expose usable hash columns (transitive chain joins become

@@ -365,6 +365,32 @@ class ClusterServer:
         with self._lock.write():
             return self._bump(tables)
 
+    def migrate(self, new_config):
+        """Repartition the served cluster online under *new_config*.
+
+        Runs :meth:`SimulatedCluster.repartition` under the write side of
+        the readers-writer lock: every in-flight query drains first, and
+        no new query starts against a half-migrated store — readers see
+        either the old or the new placement, never a mix.  Both caches
+        are cleared wholesale (cached annotations/plans reference the old
+        partitioned tables, so epoch bumps alone would not be enough) and
+        the epoch tracker is rebuilt for the new configuration's PREF
+        closure.  Returns the migration plan.
+        """
+        started = time.monotonic()
+        with self._lock.write():
+            plan = self.cluster.repartition(new_config)
+            self.epochs = EpochTracker(new_config)
+            self.plan_cache.clear()
+            self.result_cache.clear()
+        self.metrics.inc("serve.migrations")
+        self.metrics.observe(
+            "time.serve.migration_seconds",
+            time.monotonic() - started,
+            LATENCY_BUCKETS,
+        )
+        return plan
+
     def _write(self, tables: Iterable[str], apply: Callable):
         tables = tuple(tables)
         started = time.monotonic()

@@ -48,6 +48,14 @@ class PartitionedTable:
         #: chains), the verified columns this table is effectively
         #: hash-placed on.  Lets the rewriter treat chain joins as local.
         self.effective_hash: tuple[str, ...] | None = None
+        #: Patched-PREF exception lists: destination partition id -> rows
+        #: that *logically* belong there (a partner lives there) but whose
+        #: stored duplication was capped at the scheme's ``max_copies``.
+        #: They are delivered by a residual shuffle at scan time.
+        self.patches: dict[int, list[tuple[Row, int]]] = {}
+        #: Reverse map: source id -> overflow partition ids it was patched
+        #: into (for invariant checks and incremental maintenance).
+        self._patch_sources: dict[int, set[int]] = {}
 
     @property
     def name(self) -> str:
@@ -71,6 +79,52 @@ class PartitionedTable:
         source_id = self._next_source_id
         self._next_source_id += 1
         return source_id
+
+    # -- patched-PREF exception lists ----------------------------------------
+
+    def add_patch(self, partition_id: int, row: Row, source_id: int) -> None:
+        """Record an overflow copy: *row* has a partner in *partition_id*
+        but its stored duplication is capped, so the copy is delivered by
+        the residual shuffle instead of being stored."""
+        self.patches.setdefault(partition_id, []).append((row, source_id))
+        self._patch_sources.setdefault(source_id, set()).add(partition_id)
+
+    def patches_for(self, partition_id: int) -> list[tuple[Row, int]]:
+        """Patch-list entries destined for *partition_id* (may be empty)."""
+        return self.patches.get(partition_id, [])
+
+    def patch_partitions_of(self, source_id: int) -> frozenset[int]:
+        """Overflow partition ids the base tuple *source_id* was patched to."""
+        return frozenset(self._patch_sources.get(source_id, ()))
+
+    def replace_patches(
+        self, patches: dict[int, list[tuple[Row, int]]]
+    ) -> None:
+        """Replace the patch lists wholesale, rebuilding the reverse map."""
+        self.patches = {
+            partition_id: entries
+            for partition_id, entries in patches.items()
+            if entries
+        }
+        self._patch_sources = {}
+        for partition_id, entries in self.patches.items():
+            for _row, source_id in entries:
+                self._patch_sources.setdefault(source_id, set()).add(
+                    partition_id
+                )
+
+    @property
+    def patch_count(self) -> int:
+        """Total patch-list entries across all destination partitions."""
+        return sum(len(entries) for entries in self.patches.values())
+
+    def stored_copy_counts(self) -> dict[int, int]:
+        """Stored (non-patch) copies per source id, for redundancy audits."""
+        counts: dict[int, int] = {}
+        for partition in self.partitions:
+            for source_id in partition.source_ids:
+                counts[source_id] = counts.get(source_id, 0) + 1
+        return counts
 
     # -- size accounting -----------------------------------------------------
 

@@ -57,11 +57,71 @@ class TestPlanMigration:
         assert customer.copies_after == 0
         assert customer.copies_dropped == customer.copies_before
 
-    def test_mismatched_cluster_sizes_rejected(self, shop_db):
-        with pytest.raises(ValueError):
-            plan_migration(
-                shop_db, all_hashed_config(4), pref_chain_config(5)
+    def test_cluster_growth_matches_shared_prefix(self, shop_db):
+        # Regression: unequal cluster sizes used to be rejected outright.
+        # Growing 4 -> 6 matches placements over nodes 0..3; copies landing
+        # on the two new nodes all move.
+        plan = plan_migration(
+            shop_db, all_hashed_config(4), all_hashed_config(6)
+        )
+        assert plan.copies_moved > 0
+        for migration in plan.tables.values():
+            assert (
+                migration.copies_kept + migration.copies_moved
+                == migration.copies_after
             )
+            assert migration.copies_dropped >= 0
+            assert len(migration.bytes_moved_by_node) == 6
+        new_dp = partition_database(shop_db, all_hashed_config(6))
+        grown_rows = sum(
+            sum(
+                len(table.partitions[node].rows)
+                for table in new_dp.tables.values()
+            )
+            for node in (4, 5)
+        )
+        # Everything on the new nodes had to be shipped there.
+        assert plan.copies_moved >= grown_rows > 0
+
+    def test_cluster_shrink_matches_shared_prefix(self, shop_db):
+        plan = plan_migration(
+            shop_db, all_hashed_config(4), all_hashed_config(2)
+        )
+        assert plan.copies_moved > 0
+        for migration in plan.tables.values():
+            assert (
+                migration.copies_kept + migration.copies_moved
+                == migration.copies_after
+            )
+            # Old copies on removed nodes 2..3 are dropped or re-shipped.
+            assert migration.copies_dropped > 0
+            assert len(migration.bytes_moved_by_node) == 2
+
+    def test_serialized_seconds_pinned_at_parallelism_one(self, shop_db):
+        # The historical single-link model is the explicit parallelism=1
+        # case; the default models per-destination-node parallel ingest
+        # and can only be faster.
+        plan = plan_migration(
+            shop_db, all_hashed_config(4), pref_chain_config(4)
+        )
+        bandwidth = 300e6
+        serialized = plan.simulated_seconds(
+            network_bandwidth_bytes=bandwidth, parallelism=1
+        )
+        assert serialized == pytest.approx(plan.bytes_moved / bandwidth)
+        parallel = plan.simulated_seconds(network_bandwidth_bytes=bandwidth)
+        assert parallel <= serialized
+        assert parallel == pytest.approx(
+            max(plan.bytes_moved_by_node) / bandwidth
+        )
+        with pytest.raises(ValueError):
+            plan.simulated_seconds(parallelism=0)
+
+    def test_bytes_moved_by_node_sums_to_total(self, shop_db):
+        plan = plan_migration(
+            shop_db, all_hashed_config(4), pref_chain_config(4)
+        )
+        assert sum(plan.bytes_moved_by_node) == plan.bytes_moved
 
     def test_reuses_prematerialised_databases(self, shop_db):
         old = all_hashed_config(4)

@@ -10,6 +10,7 @@ a consistent snapshot.
 from __future__ import annotations
 
 import threading
+import time
 
 from helpers import assert_same_rows, normalise_rows, shop_database
 from repro.cluster import SimulatedCluster
@@ -17,8 +18,10 @@ from repro.partitioning import (
     HashScheme,
     JoinPredicate,
     PartitioningConfig,
+    PatchedPrefScheme,
     PrefScheme,
     ReplicatedScheme,
+    check_pref_invariants,
 )
 
 QUERIES = [
@@ -48,6 +51,30 @@ def _config(n: int = 4) -> PartitioningConfig:
         PrefScheme(
             "orders",
             JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+        ),
+    )
+    config.add(
+        "lineitem",
+        PrefScheme(
+            "orders",
+            JoinPredicate.equi("lineitem", "orderkey", "orders", "orderkey"),
+        ),
+    )
+    config.add("item", HashScheme(("itemkey",), n))
+    config.add("nation", ReplicatedScheme(n))
+    return config
+
+
+def _patched_config(n: int = 4) -> PartitioningConfig:
+    """Migration target: customer switches to capped PREF duplication."""
+    config = PartitioningConfig(n)
+    config.add("orders", HashScheme(("orderkey",), n))
+    config.add(
+        "customer",
+        PatchedPrefScheme(
+            "orders",
+            JoinPredicate.equi("customer", "custkey", "orders", "custkey"),
+            max_copies=1,
         ),
     )
     config.add(
@@ -236,3 +263,101 @@ class TestInterleavedWrites:
                 assert_same_rows(rows, fresh.sql(sql).rows)
         finally:
             fresh.close()
+
+
+class TestMigrationAsWrite:
+    def test_readers_see_old_or_new_placement_never_mixed(self):
+        """Readers hammer the query mix while a thread repartitions the
+        cluster online.  The data never changes, so every answer — taken
+        before, during, or after the migration — must equal the
+        reference; a read against a half-migrated store would diverge."""
+        cluster = SimulatedCluster.partition(shop_database(seed=11), _config())
+        reference = {sql: cluster.sql(sql).rows for sql in QUERIES}
+        # No result cache: every read must actually hit the store.
+        server = cluster.serve(
+            max_inflight=4, queue_depth=256, result_cache_size=0
+        )
+        failures: list[str] = []
+        stop = threading.Event()
+        new_config = _patched_config()
+
+        def migrator():
+            try:
+                time.sleep(0.02)  # let readers observe the old placement
+                plan = server.migrate(new_config)
+                if plan.copies_moved == 0:
+                    failures.append("migration moved nothing")
+            except Exception as error:  # noqa: BLE001 - collected
+                failures.append(f"migrate: {error!r}")
+            finally:
+                stop.set()
+
+        def reader(index: int):
+            session = server.session(f"migrating-reader-{index}")
+            step = 0
+            while True:
+                finished = stop.is_set()
+                sql = QUERIES[(index + step) % len(QUERIES)]
+                step += 1
+                try:
+                    rows = session.execute(sql, timeout=60).rows
+                except Exception as error:  # noqa: BLE001 - collected
+                    failures.append(f"{sql!r}: {error!r}")
+                    return
+                if normalise_rows(rows) != normalise_rows(reference[sql]):
+                    failures.append(f"{sql!r}: diverged during migration")
+                if finished:
+                    return
+
+        try:
+            _run_threads([migrator] + [lambda i=i: reader(i) for i in range(4)])
+            served = {sql: server.execute(sql).rows for sql in QUERIES}
+            summary = server.metrics_summary()
+        finally:
+            server.close()
+            cluster.close()
+        assert not failures, failures[:5]
+        assert cluster.config is new_config
+        assert summary["errors"] == 0
+        # The swapped-in store is a real patched layout, not a no-op.
+        check_pref_invariants(cluster.partitioned, new_config, exact=True)
+        assert cluster.partitioned.table("customer").patch_count > 0
+        fresh = SimulatedCluster.partition(
+            shop_database(seed=11), _patched_config()
+        )
+        try:
+            for sql, rows in served.items():
+                assert_same_rows(rows, fresh.sql(sql).rows)
+        finally:
+            fresh.close()
+
+    def test_writes_and_caches_work_after_migration(self):
+        """After an online migration the server keeps serving: epochs
+        restart against the new configuration, the loader targets the
+        new layout, and dependent answers move on the next write."""
+        count_sql = "SELECT COUNT(*) AS n FROM customer c"
+        join_sql = QUERIES[2]
+        cluster = SimulatedCluster.partition(shop_database(seed=11), _config())
+        server = cluster.serve(max_inflight=4, queue_depth=256)
+        try:
+            # Warm both caches under the old placement.
+            before_join = server.execute(join_sql).rows
+            server.execute(count_sql)
+            server.migrate(_patched_config())
+            # Caches were cleared wholesale, not served stale.
+            assert len(server.plan_cache) == 0
+            assert len(server.result_cache) == 0
+            assert server.epochs.current("customer") == 0
+            assert_same_rows(server.execute(join_sql).rows, before_join)
+            (count_before,) = server.execute(count_sql).rows[0]
+            server.insert("customer", [(990, "cust990", 1)])
+            # The insert bumps the fresh epoch tracker and lands in the
+            # migrated layout without breaking its invariants.
+            assert server.epochs.current("customer") > 0
+            (count_after,) = server.execute(count_sql).rows[0]
+            assert count_after == count_before + 1
+            check_pref_invariants(cluster.partitioned, cluster.config)
+            assert server.metrics.counter("serve.migrations") == 1
+        finally:
+            server.close()
+            cluster.close()
