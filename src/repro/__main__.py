@@ -53,7 +53,9 @@ def explain_main(argv: list[str]) -> int:
     )
     parser.add_argument(
         "--check", action="store_true",
-        help="assert canonical traces are identical across the backends",
+        help="statically certify the rewritten plan (parallel-correctness) "
+        "and, with --analyze, assert canonical traces are identical "
+        "across the backends",
     )
     parser.add_argument(
         "--json-out", default=None,
@@ -86,6 +88,27 @@ def explain_main(argv: list[str]) -> int:
         replicate=SMALL_TABLES
     )
     build = ALL_QUERIES[args.query]
+
+    if args.check:
+        # Static parallel-correctness certification of the rewritten plan
+        # runs first — a refuted plan is not worth tracing.
+        from repro.partitioning import partition_database
+        from repro.query.certify import certify
+        from repro.query.executor import Executor
+
+        partitioned = partition_database(database, design.config)
+        executor = Executor(
+            partitioned,
+            predicate_transfer=args.predicate_transfer,
+            bloom_fpr=args.bloom_fpr,
+        )
+        verdict = certify(executor.annotate(build()), partitioned)
+        if not verdict.certified:
+            print(verdict.render(), file=sys.stderr)
+            return 1
+        print(f"certify OK: {args.query} parallel-correct\n")
+        print(verdict.render())
+        print()
 
     if not args.analyze:
         cluster = SimulatedCluster.partition(
@@ -146,11 +169,109 @@ def explain_main(argv: list[str]) -> int:
     return 0
 
 
+def certify_main(argv: list[str]) -> int:
+    """``python -m repro certify`` — certify TPC-H plans under 3 configs.
+
+    Rewrites every TPC-H query against an all-hashed, a schema-driven
+    PREF, and a patched-PREF (``max_copies=1`` on un-referenced PREF
+    leaves) partitioning of generated data, and runs the static
+    parallel-correctness certifier on each plan.  Exit status 1 if any
+    plan is refuted; ``--render`` prints the per-node certificates.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro certify",
+        description="statically certify TPC-H plans under several configs",
+    )
+    parser.add_argument(
+        "--query", default=None, choices=sorted(ALL_QUERIES),
+        help="certify only this query (default: all)",
+    )
+    parser.add_argument(
+        "--configs", default="hashed,pref,patched",
+        help="comma-separated subset of hashed,pref,patched",
+    )
+    parser.add_argument(
+        "--render", action="store_true",
+        help="print the full per-node certificate for every plan",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.002, help="TPC-H scale factor"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=4, help="simulated cluster size"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="generator seed")
+    args = parser.parse_args(argv)
+
+    from repro.partitioning import partition_database
+    from repro.partitioning.config import PartitioningConfig
+    from repro.partitioning.scheme import PatchedPrefScheme, PrefScheme
+    from repro.query.certify import certify
+    from repro.query.rewrite import Rewriter
+
+    database = generate_tpch(scale_factor=args.scale, seed=args.seed)
+    pref_config = SchemaDrivenDesigner(database, args.nodes).design(
+        replicate=SMALL_TABLES
+    ).config
+
+    def patched_config() -> PartitioningConfig:
+        referenced = {
+            scheme.referenced_table
+            for _table, scheme in pref_config
+            if isinstance(scheme, PrefScheme)
+        }
+        patched = PartitioningConfig(pref_config.partition_count)
+        for table, scheme in pref_config:
+            if isinstance(scheme, PrefScheme) and table not in referenced:
+                scheme = PatchedPrefScheme(
+                    scheme.referenced_table, scheme.predicate, max_copies=1
+                )
+            patched.add(table, scheme)
+        patched.validate(database.schema)
+        return patched
+
+    from repro.design.baselines import all_hashed
+
+    builders = {
+        "hashed": lambda: all_hashed(database, args.nodes),
+        "pref": lambda: pref_config,
+        "patched": patched_config,
+    }
+    wanted = [name.strip() for name in args.configs.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in builders]
+    if unknown:
+        print(f"unknown configs: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    queries = [args.query] if args.query else sorted(ALL_QUERIES)
+
+    failures = 0
+    for config_name in wanted:
+        config = builders[config_name]()
+        partitioned = partition_database(database, config)
+        rewriter = Rewriter(partitioned)
+        certified = 0
+        for name in queries:
+            verdict = certify(rewriter.rewrite(ALL_QUERIES[name]()), partitioned)
+            if verdict.certified:
+                certified += 1
+                if args.render:
+                    print(f"--- {config_name} {name} ---")
+                    print(verdict.render())
+            else:
+                failures += 1
+                print(f"--- {config_name} {name} ---", file=sys.stderr)
+                print(verdict.render(), file=sys.stderr)
+        print(f"{config_name}: {certified}/{len(queries)} plans certified")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return explain_main(argv[1:])
+    if argv and argv[0] == "certify":
+        return certify_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="PREF partitioning demo on generated TPC-H data",

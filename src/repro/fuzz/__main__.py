@@ -42,6 +42,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the sqlite3 cross-check",
     )
     parser.add_argument(
+        "--no-certify",
+        action="store_true",
+        help="skip the static parallel-correctness certifier oracle",
+    )
+    parser.add_argument(
         "--no-shrink",
         action="store_true",
         help="write the raw failing case without minimising it",
@@ -82,7 +87,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.replay:
         case = load_case(args.replay)
         divergence = run_case(
-            case, backends=backends, check_sqlite=not args.no_sqlite
+            case,
+            backends=backends,
+            check_sqlite=not args.no_sqlite,
+            check_certify=not args.no_certify,
         )
         if divergence is None:
             print(f"replay {args.replay}: no divergence")
@@ -108,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
         max_shrink=args.max_shrink,
         progress=progress,
         variant_overrides=overrides,
+        check_certify=not args.no_certify,
     )
     print(report.summary())
     return 0 if report.ok else 1

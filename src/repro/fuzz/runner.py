@@ -66,6 +66,9 @@ class Divergence:
     detail: str
     phase: str = "initial"
     query_index: int | None = None
+    #: Structured attachment (e.g. a certifier refutation plus its
+    #: confirmed counterexample case), carried into saved repros.
+    payload: dict | None = None
 
     def describe(self) -> str:
         where = f" [phase={self.phase}"
@@ -79,6 +82,7 @@ def run_case(
     case: dict,
     backends: tuple[str, ...] = DEFAULT_BACKENDS,
     check_sqlite: bool = True,
+    check_certify: bool = True,
 ) -> Divergence | None:
     """Run one case through every check; None means fully consistent."""
     try:
@@ -155,6 +159,8 @@ def run_case(
                 tables,
                 schemas,
                 check_sqlite,
+                partitioned=partitioned if check_certify else None,
+                case=case,
             )
             if divergence is not None:
                 return divergence
@@ -173,7 +179,170 @@ def _trace_dumps(serial_trace, other_trace, spec: str) -> str:
     )
 
 
+#: Divergence kinds that mean "the distributed result is wrong" — the
+#: kinds a statically certified plan must never produce.
+_RESULT_KINDS = frozenset(
+    {"backend_rows", "rewrite_rows", "local_rows", "oracle_rows"}
+)
+
+
 def _check_query(
+    query: dict,
+    index: int,
+    phase: str,
+    reference: Executor,
+    others: list[tuple[str, Executor]],
+    variant_executor: Executor | None,
+    database,
+    tables: dict,
+    schemas: dict,
+    check_sqlite: bool,
+    partitioned=None,
+    case: dict | None = None,
+) -> Divergence | None:
+    certified = False
+    if partitioned is not None:
+        certify_divergence, certified = _certify_query(
+            query, index, phase, reference, variant_executor,
+            partitioned, case, tables,
+        )
+        if certify_divergence is not None:
+            return certify_divergence
+    divergence = _check_query_dynamic(
+        query, index, phase, reference, others, variant_executor,
+        database, tables, schemas, check_sqlite,
+    )
+    if (
+        divergence is not None
+        and certified
+        and divergence.kind in _RESULT_KINDS
+    ):
+        # The second oracle's hard promise: a certified plan never
+        # diverges.  Seeing both means the certifier (or the engine) has
+        # a soundness bug — escalate the kind so it is triaged as such.
+        divergence.detail += (
+            "\n[certify] CONTRADICTION: this plan was statically "
+            "certified, yet its results diverged"
+        )
+        divergence.kind = f"certify_contradiction:{divergence.kind}"
+    return divergence
+
+
+def _certify_query(
+    query: dict,
+    index: int,
+    phase: str,
+    reference: Executor,
+    variant_executor: Executor | None,
+    partitioned,
+    case: dict | None,
+    tables: dict,
+) -> tuple[Divergence | None, bool]:
+    """Run the static certifier over the default and variant plans.
+
+    Returns ``(divergence, certified)``: a refutation becomes a
+    ``certify_refuted`` divergence when its synthesized counterexample
+    demonstrably diverges on the naive oracle, or ``certify_unconfirmed``
+    otherwise (the rewriter must only emit certifiable plans, so both
+    are failures); ``certified`` is True when every checked plan got a
+    certificate.
+    """
+    import copy as _copy
+
+    from repro.fuzz.certify import confirm_refutation
+    from repro.query.certify import certify
+
+    targets: list[tuple[str, Executor, dict]] = [("default", reference, {})]
+    if variant_executor is not None:
+        targets.append(
+            (
+                "variant",
+                variant_executor,
+                {
+                    "optimizations": variant_executor.rewriter.optimizations,
+                    "locality": variant_executor.rewriter.locality,
+                    "predicate_transfer": variant_executor.predicate_transfer,
+                },
+            )
+        )
+    for label, executor, flags in targets:
+        try:
+            annotated = executor.annotate(ir.build_plan(query))
+        except Exception as exc:  # noqa: BLE001
+            return (
+                Divergence(
+                    f"error:annotate:{type(exc).__name__}",
+                    f"{label} plan: {exc}",
+                    phase,
+                    index,
+                ),
+                False,
+            )
+        try:
+            result = certify(annotated, partitioned)
+        except Exception as exc:  # noqa: BLE001
+            return (
+                Divergence(
+                    f"error:certify:{type(exc).__name__}",
+                    f"{label} plan: {exc}",
+                    phase,
+                    index,
+                ),
+                False,
+            )
+        if result.certified:
+            continue
+        refutation = result.refutation
+        payload = {
+            "plan": label,
+            "flags": flags,
+            "refutation": {
+                "check": refutation.check,
+                "reason": refutation.reason,
+                "path": list(refutation.path),
+            },
+        }
+        counterexample = None
+        if case is not None:
+            # Fold applied load batches in so the search starts from the
+            # table contents the refuted plan actually saw.
+            effective = _copy.deepcopy(case)
+            effective["loads"] = {}
+            for table in effective["tables"]:
+                current = tables.get(table["name"])
+                if current is not None:
+                    table["rows"] = [list(row) for row in current[1]]
+            counterexample = confirm_refutation(effective, query, flags)
+        if counterexample is not None:
+            payload["counterexample"] = counterexample
+            return (
+                Divergence(
+                    "certify_refuted",
+                    f"{label} plan statically refuted; the synthesized "
+                    "counterexample diverges on the naive oracle\n"
+                    + result.render(),
+                    phase,
+                    index,
+                    payload=payload,
+                ),
+                False,
+            )
+        return (
+            Divergence(
+                "certify_unconfirmed",
+                f"{label} plan statically refuted (no diverging "
+                "counterexample found; the rewriter must emit "
+                "certifiable plans)\n" + result.render(),
+                phase,
+                index,
+                payload=payload,
+            ),
+            False,
+        )
+    return None, True
+
+
+def _check_query_dynamic(
     query: dict,
     index: int,
     phase: str,
@@ -344,12 +513,15 @@ def run_fuzz(
     max_shrink: int = 250,
     progress=None,
     variant_overrides: dict | None = None,
+    check_certify: bool = True,
 ) -> FuzzReport:
     """Generate and run *cases* cases; stop (and shrink) on the first failure.
 
     ``variant_overrides`` pins variant-executor flags across every case
     (e.g. ``{"predicate_transfer": True}`` for a dedicated on/off sweep)
     on top of the generator's per-case random choices.
+    ``check_certify`` runs the static certifier as a second oracle on
+    every plan (kill switch: ``False`` disables it).
     """
     from repro.fuzz.shrinker import shrink
 
@@ -358,7 +530,12 @@ def run_fuzz(
         case = generate_case(seed, index)
         if variant_overrides:
             case.setdefault("variant", {}).update(variant_overrides)
-        divergence = run_case(case, backends=backends, check_sqlite=check_sqlite)
+        divergence = run_case(
+            case,
+            backends=backends,
+            check_sqlite=check_sqlite,
+            check_certify=check_certify,
+        )
         report.cases_run += 1
         report.queries_run += len(case["queries"]) * (2 if case["loads"] else 1)
         if divergence is None:
@@ -374,20 +551,31 @@ def run_fuzz(
             def still_fails(candidate: dict) -> bool:
                 attempts[0] += 1
                 found = run_case(
-                    candidate, backends=backends, check_sqlite=check_sqlite
+                    candidate,
+                    backends=backends,
+                    check_sqlite=check_sqlite,
+                    check_certify=check_certify,
                 )
                 return found is not None and found.kind == kind
 
             report.shrunk_case = shrink(case, still_fails, max_attempts=max_shrink)
             report.shrink_attempts = attempts[0]
-            # Re-derive the divergence message from the minimised case.
+            # Re-derive the divergence message (and, for certifier
+            # refutations, the refutation payload + counterexample) from
+            # the minimised case, so the repro carries both.
             final = run_case(
-                report.shrunk_case, backends=backends, check_sqlite=check_sqlite
+                report.shrunk_case,
+                backends=backends,
+                check_sqlite=check_sqlite,
+                check_certify=check_certify,
             )
             if final is not None:
                 report.divergence = final
         if out:
-            ir.save_case(report.shrunk_case or case, out)
+            saved = dict(report.shrunk_case or case)
+            if report.divergence is not None and report.divergence.payload:
+                saved["certify"] = report.divergence.payload
+            ir.save_case(saved, out)
             report.repro_path = out
         break
     return report

@@ -6,6 +6,12 @@ from repro.engine import (
     ThreadPoolBackend,
 )
 from repro.query.builder import Query
+from repro.query.certify import (
+    Certificate,
+    CertifyResult,
+    Refutation,
+    certify,
+)
 from repro.query.cost import CostParameters, ExecutionStats
 from repro.query.executor import Executor, QueryResult
 from repro.query.expressions import and_, col, lit, not_, or_
@@ -27,6 +33,8 @@ __all__ = [
     "Aggregate",
     "AggregateSpec",
     "Annotated",
+    "Certificate",
+    "CertifyResult",
     "CostParameters",
     "ExecutionStats",
     "Executor",
@@ -40,11 +48,13 @@ __all__ = [
     "Project",
     "Query",
     "QueryResult",
+    "Refutation",
     "Rewriter",
     "Scan",
     "SerialBackend",
     "ThreadPoolBackend",
     "and_",
+    "certify",
     "col",
     "lit",
     "not_",

@@ -152,7 +152,7 @@ class Rewriter:
             # A PREF table without any materialised duplicates needs no
             # duplicate elimination at all.  Patch-list deliveries arrive
             # with dup=1, so patched tables always need governing.
-            if table.duplicate_count or table.patch_count:
+            if table.has_governing_duplicates:
                 governing = (dup_column(alias),)
             # REF-like chains verified to follow the seed's hash placement
             # expose usable hash columns (transitive chain joins become
@@ -364,7 +364,13 @@ class Rewriter:
         )
         node = Project(side.node, outputs)
         return Annotated(
-            node, props, (side,), extra={"distinct": "local"}
+            node,
+            props,
+            (side,),
+            # Downstream only tests membership of these keys (semi/anti
+            # probe), so per-partition dedup and surviving NULL keys are
+            # harmless; state that for the static certifier.
+            extra={"distinct": "local", "assume": {"membership_only": True}},
         )
 
     def _locality_case(
@@ -660,11 +666,25 @@ class Rewriter:
         physical = Join(
             left.node, right.node, node.on, node.kind, node.residual
         )
+        extra: dict = {"strategy": "local", "case": case}
+        if referenced_side is not None:
+            extra["referenced_side"] = referenced_side
+            if node.kind is not JoinKind.INNER and referenced_side == "right":
+                # _kind_allows_pref_local admitted this plan because the
+                # referenced side is the complete base table (pristine);
+                # state the assumption explicitly so the static certifier
+                # validates it instead of rediscovering it.
+                referencing_part = (
+                    left if referenced_side == "right" else right
+                ).props.part
+                extra["assume"] = {
+                    "pristine": referencing_part.pref_scheme.referenced_table
+                }
         return Annotated(
             physical,
             props,
             (left, right),
-            extra={"strategy": "local", "case": case},
+            extra=extra,
         )
 
     def _broadcast_join(
@@ -812,11 +832,17 @@ class Rewriter:
                 left.node, table=alias, expect=node.kind is JoinKind.SEMI
             )
             props = replace(left.props)
+            # The bitmap equals semi/anti membership only because the
+            # build side is the complete content of S (checked above);
+            # state that for the static certifier.
             return Annotated(
                 physical,
                 props,
                 (left,),
-                extra={"strategy": "partner_filter"},
+                extra={
+                    "strategy": "partner_filter",
+                    "assume": {"pristine": table_s},
+                },
             )
         return None
 

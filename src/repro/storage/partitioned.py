@@ -144,6 +144,16 @@ class PartitionedTable:
         return sum(partition.duplicate_count for partition in self.partitions)
 
     @property
+    def has_governing_duplicates(self) -> bool:
+        """True if scans of this table must carry a governing dup bit.
+
+        Stored duplicate copies and patch-list deliveries both arrive at
+        scan time with the hidden dup column set, so either makes the
+        duplicate bit load-bearing for downstream dedup reasoning.
+        """
+        return bool(self.duplicate_count or self.patch_count)
+
+    @property
     def byte_size(self) -> int:
         """Nominal stored size in bytes, counting duplicates."""
         return self.total_rows * self.schema.row_byte_width

@@ -180,6 +180,48 @@ def ref_chain_config(n: int) -> PartitioningConfig:
     return config
 
 
+def buggy_left_outer_local_join():
+    """The pre-fix ``Rewriter._local_join``, for bug-resurrection tests.
+
+    Re-introduces the historical LEFT OUTER defect: the join keys were
+    merged into the equivalence groups even though padded rows NULL the
+    right-side key, so a downstream GROUP BY on the right key was treated
+    as partition-local and emitted one NULL group per partition.  Install
+    with ``monkeypatch.setattr(Rewriter, "_local_join", ...)``.
+    """
+    from dataclasses import replace as _replace
+
+    from repro.query.plan import JoinKind
+    from repro.query.rewrite import Annotated, Rewriter, _merge_equivalences
+
+    original = Rewriter._local_join
+
+    def buggy(self, node, left, right, case, referenced_side):
+        result = original(self, node, left, right, case, referenced_side)
+        if node.kind is not JoinKind.LEFT_OUTER:
+            return result
+        pairs = [
+            (
+                left.props.columns[left.props.position(l)],
+                right.props.columns[right.props.position(r)],
+            )
+            for l, r in node.on
+        ]
+        merged = _merge_equivalences(
+            left.props.equivalences + right.props.equivalences, pairs
+        )
+        props = _replace(result.props, equivalences=merged)
+        return Annotated(
+            result.node,
+            props,
+            result.inputs,
+            pristine=result.pristine,
+            extra=result.extra,
+        )
+
+    return buggy
+
+
 def all_hashed_config(n: int) -> PartitioningConfig:
     """Every table hash-partitioned on its primary key."""
     config = PartitioningConfig(n)
